@@ -1,0 +1,52 @@
+// Ablation: effective bandwidth vs number of banks for a fixed stride mix.
+// The conclusion advises array dimensions relatively prime to m; this
+// sweep shows how prime bank counts (m = 13, 17) smooth out the stride
+// sensitivity that power-of-two bank counts (m = 8, 16) exhibit.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_figure() {
+  const i64 nc = 4;
+  Table table{{"m", "worst single-stream b_eff (d=1..8)", "worst pair b_eff (d1,d2 in 1..8)",
+               "pairs at full b_eff"},
+              "Ablation — bank count (nc = 4, offsets swept, two CPUs)"};
+  for (i64 m : {8, 12, 13, 16, 17, 24, 32}) {
+    const sim::MemoryConfig cfg{.banks = m, .sections = m, .bank_cycle = nc};
+    Rational worst_single{1};
+    for (i64 d = 1; d <= 8; ++d) {
+      worst_single =
+          std::min(worst_single, analytic::single_stream_bandwidth(m, d, nc));
+    }
+    Rational worst_pair{2};
+    i64 full = 0;
+    i64 count = 0;
+    for (i64 d1 = 1; d1 <= 8; ++d1) {
+      for (i64 d2 = d1; d2 <= 8; ++d2) {
+        const auto sweep = sim::sweep_start_offsets(cfg, d1, d2);
+        worst_pair = std::min(worst_pair, sweep.min_bandwidth);
+        ++count;
+        if (sweep.min_bandwidth == Rational{2}) ++full;
+      }
+    }
+    table.add_row({cell(static_cast<long long>(m)), worst_single.str(), worst_pair.str(),
+                   cell(static_cast<long long>(full)) + "/" +
+                       cell(static_cast<long long>(count))});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_sweep_m16(benchmark::State& state) {
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sweep_start_offsets(cfg, 1, 3));
+  }
+}
+BENCHMARK(bm_sweep_m16);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

@@ -1,0 +1,47 @@
+// Ablation: effective bandwidth vs bank cycle time nc.  Theorem 3's
+// conflict-free threshold is gcd(m/f, (d2-d1)/f) >= 2*nc, so doubling nc
+// halves the set of conflict-free stride pairs; single streams fall off a
+// cliff once r < nc.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_figure() {
+  const i64 m = 16;
+  Table table{{"nc", "b_eff d=1 pair (1,9)", "b_eff pair (1,3) min", "single d=8",
+               "conflict-free pairs (d1<d2<=8)"},
+              "Ablation — bank cycle time (m = 16, offsets swept)"};
+  for (i64 nc : {1, 2, 3, 4, 6, 8}) {
+    const sim::MemoryConfig cfg{.banks = m, .sections = m, .bank_cycle = nc};
+    const auto pair19 = sim::sweep_start_offsets(cfg, 1, 9);
+    const auto pair13 = sim::sweep_start_offsets(cfg, 1, 3);
+    const auto single =
+        sim::find_steady_state(cfg, {sim::StreamConfig{.distance = 8}}).bandwidth;
+    i64 cf = 0;
+    i64 count = 0;
+    for (i64 d1 = 1; d1 <= 8; ++d1) {
+      for (i64 d2 = d1 + 1; d2 <= 8; ++d2) {
+        ++count;
+        if (analytic::conflict_free_achievable(m, nc, d1, d2)) ++cf;
+      }
+    }
+    table.add_row({cell(static_cast<long long>(nc)), pair19.min_bandwidth.str(),
+                   pair13.min_bandwidth.str(), single.str(),
+                   cell(static_cast<long long>(cf)) + "/" +
+                       cell(static_cast<long long>(count))});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_engine_nc8(benchmark::State& state) {
+  bench::run_engine_benchmark(state, {.banks = 16, .sections = 16, .bank_cycle = 8},
+                              sim::two_streams(0, 1, 3, 3));
+}
+BENCHMARK(bm_engine_nc8);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

@@ -1,0 +1,49 @@
+// Ablation: fixed vs cyclic priority rule on linked-conflict-prone
+// workloads.  The paper (Fig. 8) argues cyclic priority resolves linked
+// conflicts; this sweep shows where each rule wins across start offsets.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_figure() {
+  Table table{{"b2", "fixed b_eff", "cyclic b_eff"},
+              "Ablation — priority rule (m=12, s=3, nc=3, d1=d2=1, same CPU)"};
+  i64 fixed_wins = 0;
+  i64 cyclic_wins = 0;
+  for (i64 b2 = 0; b2 < 12; ++b2) {
+    sim::MemoryConfig cfg{.banks = 12, .sections = 3, .bank_cycle = 3};
+    const auto streams = sim::two_streams(0, 1, b2, 1, /*same_cpu=*/true);
+    const auto fixed = sim::find_steady_state(cfg, streams);
+    cfg.priority = sim::PriorityRule::cyclic;
+    const auto cyclic = sim::find_steady_state(cfg, streams);
+    if (fixed.bandwidth > cyclic.bandwidth) ++fixed_wins;
+    if (cyclic.bandwidth > fixed.bandwidth) ++cyclic_wins;
+    table.add_row({cell(static_cast<long long>(b2)), fixed.bandwidth.str(),
+                   cyclic.bandwidth.str()});
+  }
+  table.print(std::cout);
+  std::cout << "fixed wins: " << fixed_wins << ", cyclic wins: " << cyclic_wins
+            << " (paper's Fig. 8 start b2=1 is a cyclic win)\n\n";
+}
+
+void bm_fixed(benchmark::State& state) {
+  bench::run_engine_benchmark(state, {.banks = 12, .sections = 3, .bank_cycle = 3},
+                              sim::two_streams(0, 1, 1, 1, true));
+}
+BENCHMARK(bm_fixed);
+
+void bm_cyclic(benchmark::State& state) {
+  bench::run_engine_benchmark(state,
+                              {.banks = 12,
+                               .sections = 3,
+                               .bank_cycle = 3,
+                               .priority = sim::PriorityRule::cyclic},
+                              sim::two_streams(0, 1, 1, 1, true));
+}
+BENCHMARK(bm_cyclic);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

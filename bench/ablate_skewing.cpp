@@ -1,0 +1,63 @@
+// Ablation: storage scheme x access pattern.  The conclusion recommends
+// skewing schemes ([1], [4], [11], [12]) when rows or diagonals of
+// Fortran arrays must be accessed; this table quantifies the advice for a
+// 64x64 matrix on the X-MP geometry (m = 16, nc = 4) and on a prime bank
+// count (m = 17), cross-checked against the simulator via explicit bank
+// sequences.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_scheme_table(i64 m, i64 nc, const skew::MatrixLayout& layout) {
+  std::vector<std::pair<std::string, skew::StorageScheme>> schemes{
+      {"interleaved lda=" + std::to_string(layout.lda), skew::StorageScheme{}},
+  };
+  const skew::MatrixLayout padded{.rows = layout.rows, .cols = layout.cols,
+                                  .lda = analytic::safe_leading_dimension(layout.lda, m)};
+  schemes.emplace_back("interleaved lda=" + std::to_string(padded.lda), skew::StorageScheme{});
+  if (const auto delta = skew::find_good_skew(m, nc)) {
+    schemes.emplace_back("skewed delta=" + std::to_string(*delta),
+                         skew::StorageScheme{.kind = skew::SchemeKind::skewed, .skew = *delta});
+  }
+
+  Table table{{"scheme", "pattern", "distance", "r", "analytic b_eff", "simulated b_eff"},
+              "Ablation — storage scheme (m=" + std::to_string(m) +
+                  ", nc=" + std::to_string(nc) + ", " + std::to_string(layout.rows) + "x" +
+                  std::to_string(layout.cols) + " matrix)"};
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    const auto& [name, scheme] = schemes[s];
+    const skew::MatrixLayout& use = (s == 1) ? padded : layout;
+    for (const auto& r : skew::analyze_scheme(scheme, use, m, nc)) {
+      sim::StreamConfig stream;
+      stream.bank_pattern = skew::bank_sequence(scheme, use, r.pattern, m);
+      const auto ss = sim::find_steady_state(
+          sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc}, {stream});
+      table.add_row({name, skew::to_string(r.pattern), cell(static_cast<long long>(r.distance)),
+                     cell(static_cast<long long>(r.return_number)), r.bandwidth.str(),
+                     ss.bandwidth.str()});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_figure() {
+  const skew::MatrixLayout unpadded{.rows = 64, .cols = 64, .lda = 64};
+  print_scheme_table(16, 4, unpadded);
+  print_scheme_table(17, 4, unpadded);
+}
+
+void bm_skewed_diagonal(benchmark::State& state) {
+  const skew::StorageScheme scheme{.kind = skew::SchemeKind::skewed, .skew = 6};
+  const skew::MatrixLayout layout{.rows = 64, .cols = 64, .lda = 64};
+  sim::StreamConfig stream;
+  stream.bank_pattern = skew::bank_sequence(scheme, layout, skew::Pattern::forward_diagonal, 16);
+  bench::run_engine_benchmark(state, {.banks = 16, .sections = 16, .bank_cycle = 4}, {stream});
+}
+BENCHMARK(bm_skewed_diagonal);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

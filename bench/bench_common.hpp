@@ -1,0 +1,70 @@
+// Shared scaffolding for the figure-reproduction benches.  Each bench
+// binary (one per paper figure/ablation) prints the regenerated figure —
+// the same rows/series the paper reports — and then runs google-benchmark
+// timings of the underlying simulation kernel.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vpmem/vpmem.hpp"
+
+namespace vpmem::bench {
+
+/// Print the regenerated clock diagram and steady state of a two-stream
+/// experiment, with the paper's expected bandwidth alongside.
+inline void print_two_stream_figure(const std::string& title, const sim::MemoryConfig& config,
+                                    const std::vector<sim::StreamConfig>& streams,
+                                    i64 diagram_cycles, const std::string& expected,
+                                    bool show_sections = false) {
+  std::cout << "==== " << title << " ====\n";
+  std::cout << trace::render_run(config, streams, diagram_cycles, show_sections);
+  const sim::SteadyState ss = sim::find_steady_state(config, streams);
+  std::cout << "measured b_eff = " << ss.bandwidth.str() << "   (paper: " << expected << ")\n";
+  std::cout << "per-port:";
+  for (const auto& bw : ss.per_port) std::cout << ' ' << bw.str();
+  std::cout << "\nconflicts per period: bank=" << ss.conflicts_in_period.bank
+            << " simultaneous=" << ss.conflicts_in_period.simultaneous
+            << " section=" << ss.conflicts_in_period.section << "\n\n";
+}
+
+/// google-benchmark kernel: cost of stepping the engine on this workload.
+inline void run_engine_benchmark(benchmark::State& state, const sim::MemoryConfig& config,
+                                 const std::vector<sim::StreamConfig>& streams) {
+  sim::MemorySystem mem{config, streams};
+  i64 cycles = 0;
+  for (auto _ : state) {
+    mem.step();
+    ++cycles;
+  }
+  state.SetItemsProcessed(cycles);
+  state.counters["grants_per_cycle"] = benchmark::Counter(
+      static_cast<double>([&] {
+        i64 g = 0;
+        for (std::size_t i = 0; i < mem.port_count(); ++i) g += mem.port_stats(i).grants;
+        return g;
+      }()) /
+          static_cast<double>(cycles),
+      benchmark::Counter::kDefaults);
+}
+
+/// Shared main: print the figure, then run the registered benchmarks.
+inline int figure_main(int argc, char** argv, void (*print_figure)()) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vpmem::bench
+
+/// Define main() for a figure bench.
+#define VPMEM_FIGURE_MAIN(print_fn)                                        \
+  int main(int argc, char** argv) {                                        \
+    return ::vpmem::bench::figure_main(argc, argv, &(print_fn));           \
+  }

@@ -1,0 +1,39 @@
+// Fig. 2: conflict-free access of two streams (m=12, nc=3, d1=1, d2=7).
+// Paper shows zero conflicts and b_eff = 2 (Theorem 3: gcd(12,6)=6 >= 2*3).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 12, .sections = 12, .bank_cycle = 3};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 3, 7);
+
+void print_figure() {
+  bench::print_two_stream_figure("Fig. 2 — conflict-free access (m=12, nc=3, d1=1, d2=7)",
+                                 kConfig, kStreams, 36, "b_eff = 2, no conflicts");
+  // Synchronization: every relative start position converges to b_eff = 2.
+  const sim::OffsetSweep sweep = sim::sweep_start_offsets(kConfig, 1, 7);
+  Table table{{"b2", "b_eff"}, "Offset sweep (synchronization property of Theorem 3)"};
+  for (std::size_t b2 = 0; b2 < sweep.by_offset.size(); ++b2) {
+    table.add_row({cell(static_cast<long long>(b2)), sweep.by_offset[b2].str()});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+void bm_steady_state(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::find_steady_state(kConfig, kStreams));
+  }
+}
+BENCHMARK(bm_steady_state);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

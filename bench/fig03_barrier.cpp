@@ -1,0 +1,28 @@
+// Fig. 3: barrier-situation (m=13, nc=6, d1=1, d2=6, b2=0).  Stream 1 runs
+// conflict-free; stream 2 is delayed at every return: b_eff = 1 + 1/6.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 13, .sections = 13, .bank_cycle = 6};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 0, 6);
+
+void print_figure() {
+  bench::print_two_stream_figure("Fig. 3 — barrier-situation (m=13, nc=6, d1=1, d2=6)",
+                                 kConfig, kStreams, 39,
+                                 "b_eff = 1 + d1/d2 = 7/6; stream 2 delayed");
+  std::cout << "Theorem 4 (eq. 17) predicts a barrier placement exists: "
+            << (analytic::barrier_possible(13, 6, 1, 6) ? "yes" : "no") << '\n'
+            << "Eq. 29 bandwidth: " << analytic::barrier_bandwidth(1, 6).str() << "\n\n";
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

@@ -1,0 +1,37 @@
+// Fig. 4: the same pair as Fig. 3 with b2 = 1 falls into a *double
+// conflict* — mutual delays, barrier never reached.  Theorem 5's guard
+// (nc-1)(d2+d1) < m fails here (35 >= 13).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 13, .sections = 13, .bank_cycle = 6};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 1, 6);
+
+void print_figure() {
+  bench::print_two_stream_figure(
+      "Fig. 4 — double conflict: barrier-situation is not reached (b2=1)", kConfig, kStreams,
+      39, "mutual delays, b_eff < 7/6");
+  std::cout << "Theorem 5 guard (nc-1)(d2+d1) < m: "
+            << (analytic::double_conflict_impossible(13, 6, 1, 6) ? "holds" : "fails (35 >= 13)")
+            << "\n\n";
+  // Contrast with Fig. 3 across every offset.
+  const sim::OffsetSweep sweep = sim::sweep_start_offsets(kConfig, 1, 6);
+  Table table{{"b2", "b_eff"}, "Offset sweep: barrier (7/6) vs double-conflict cycles"};
+  for (std::size_t b2 = 0; b2 < sweep.by_offset.size(); ++b2) {
+    table.add_row({cell(static_cast<long long>(b2)), sweep.by_offset[b2].str()});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

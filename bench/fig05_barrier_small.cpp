@@ -1,0 +1,28 @@
+// Fig. 5: barrier-situation satisfying both eq. 17 and eq. 22
+// (m=13, nc=4, d1=1, d2=3, b1=0, b2=7): b_eff = 1 + 1/3 = 4/3.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 13, .sections = 13, .bank_cycle = 4};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 7, 3);
+
+void print_figure() {
+  bench::print_two_stream_figure(
+      "Fig. 5 — barrier-situation (m=13, nc=4, d1=1, d2=3, b2=7)", kConfig, kStreams, 39,
+      "b_eff = 4/3; no double conflict (Theorem 5: 12 < 13)");
+  std::cout << "eq. 17 barrier possible: " << analytic::barrier_possible(13, 4, 1, 3)
+            << ", eq. 22 double conflict impossible: "
+            << analytic::double_conflict_impossible(13, 4, 1, 3) << "\n\n";
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

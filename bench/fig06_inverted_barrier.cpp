@@ -1,0 +1,29 @@
+// Fig. 6: the Fig. 5 barrier is not unique — with b2 = 1 it inverts and
+// stream 2 delays stream 1 (Theorem 7's uniqueness test fails:
+// 5*3 mod 13 = 2 is not < (5-4)*1 = 1).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 13, .sections = 13, .bank_cycle = 4};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 1, 3);
+
+void print_figure() {
+  bench::print_two_stream_figure(
+      "Fig. 6 — inverted barrier-situation (m=13, nc=4, d1=1, d2=3, b2=1)", kConfig, kStreams,
+      39, "stream 2 runs freely, stream 1 delayed");
+  std::cout << "Theorem 7 uniqueness: "
+            << (analytic::unique_barrier_thm7(13, 4, 1, 3) ? "unique" : "not unique")
+            << " — hence the inversion.\n\n";
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

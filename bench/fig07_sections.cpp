@@ -1,0 +1,33 @@
+// Fig. 7: conflict-free access to a 12-way memory with two sections
+// (nc=2, d1=d2=1, same CPU).  Eq. 31 fails (nc*d1 = 2 = s), so the start
+// offset must be (nc+1)*d1 = 3 per eq. 32.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 12, .sections = 2, .bank_cycle = 2};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 3, 1, /*same_cpu=*/true);
+
+void print_figure() {
+  bench::print_two_stream_figure(
+      "Fig. 7 — conflict-free access, 2 sections (m=12, s=2, nc=2, d1=d2=1, b2=3)", kConfig,
+      kStreams, 34, "b_eff = 2 via eq. 32 offset (nc+1)*d1", /*show_sections=*/true);
+  i64 offset = -1;
+  const bool ok = analytic::conflict_free_with_sections(12, 2, 2, 1, 1, &offset);
+  std::cout << "conflict_free_with_sections -> " << ok << ", offset " << offset << "\n";
+  // The eq. 31 offset nc*d1 = 2 would alternate section conflicts instead.
+  const auto bad = sim::find_steady_state(kConfig, sim::two_streams(0, 1, 2, 1, true));
+  std::cout << "with offset nc*d1 = 2 instead: b_eff = " << bad.bandwidth.str()
+            << " (section conflicts per period: " << bad.conflicts_in_period.section << ")\n\n";
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

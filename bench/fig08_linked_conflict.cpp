@@ -1,0 +1,34 @@
+// Fig. 8: the linked conflict (m=12, s=3, nc=3, d1=d2=1, starts 0 and 1).
+// (a) fixed priority: alternating bank and section conflicts, b_eff = 3/2.
+// (b) cyclic priority: the conflict resolves, b_eff = 2.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kFixed{.banks = 12, .sections = 3, .bank_cycle = 3};
+const sim::MemoryConfig kCyclic{.banks = 12,
+                                .sections = 3,
+                                .bank_cycle = 3,
+                                .priority = sim::PriorityRule::cyclic};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true);
+
+void print_figure() {
+  bench::print_two_stream_figure("Fig. 8(a) — linked conflict, fixed priority", kFixed,
+                                 kStreams, 34, "b_eff = 3/2", /*show_sections=*/true);
+  bench::print_two_stream_figure("Fig. 8(b) — linked conflict resolved by cyclic priority",
+                                 kCyclic, kStreams, 34, "b_eff = 2", /*show_sections=*/true);
+}
+
+void bm_fixed(benchmark::State& state) { bench::run_engine_benchmark(state, kFixed, kStreams); }
+BENCHMARK(bm_fixed);
+
+void bm_cyclic(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kCyclic, kStreams);
+}
+BENCHMARK(bm_cyclic);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

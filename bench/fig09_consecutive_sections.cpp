@@ -1,0 +1,29 @@
+// Fig. 9: the same linked-conflict workload as Fig. 8(a), but with m/s
+// *consecutive* banks per section (Cheung & Smith's proposal): the linked
+// conflict disappears under fixed priority, b_eff = 2.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+const sim::MemoryConfig kConfig{.banks = 12,
+                                .sections = 3,
+                                .bank_cycle = 3,
+                                .mapping = sim::SectionMapping::consecutive};
+const std::vector<sim::StreamConfig> kStreams = sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true);
+
+void print_figure() {
+  bench::print_two_stream_figure(
+      "Fig. 9 — linked conflict removed by consecutive-bank sections", kConfig, kStreams, 34,
+      "b_eff = 2", /*show_sections=*/true);
+}
+
+void bm_engine(benchmark::State& state) {
+  bench::run_engine_benchmark(state, kConfig, kStreams);
+}
+BENCHMARK(bm_engine);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

@@ -1,0 +1,66 @@
+// Fig. 10: the Section IV Cray X-MP experiment.  The triad
+//   A(I) = B(I) + C(I)*D(I),  I = 1, N*INC, INC,  n = 1024
+// runs on CPU 0 for INC = 1..16 while CPU 1 saturates its three ports with
+// stride-1 streams.  Series printed: (a) execution time contended,
+// (b) execution time dedicated, (c) bank conflicts, (d) section conflicts,
+// (e) simultaneous conflicts — all from the cycle-level model.
+//
+// Paper shape to compare against: best at INC in {1, 6, 11}; INC=2 about
+// +50% and INC=3 about +100% over INC=1 under contention (barrier
+// victims); even strides 4/8/16 slowest (self-conflicts, r < nc).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_figure() {
+  core::TriadExperiment experiment;  // defaults: n = 1024, INC 1..16
+  const auto rows = core::run_triad_experiment(experiment);
+  core::triad_table(rows).print(std::cout);
+  std::cout << '\n';
+  // The paper plots these as curves over INC; render the same series.
+  BarChart fig_a{"Fig. 10(a) — execution time, other CPU active (clock periods)"};
+  BarChart fig_b{"Fig. 10(b) — execution time, dedicated (clock periods)"};
+  BarChart fig_c{"Fig. 10(c) — bank conflicts (contended run)"};
+  for (const auto& r : rows) {
+    const std::string label = "INC=" + std::to_string(r.inc);
+    fig_a.add(label, static_cast<double>(r.cycles_contended));
+    fig_b.add(label, static_cast<double>(r.cycles_dedicated));
+    fig_c.add(label, static_cast<double>(r.conflicts_contended.bank));
+  }
+  fig_a.print(std::cout);
+  std::cout << '\n';
+  fig_b.print(std::cout);
+  std::cout << '\n';
+  fig_c.print(std::cout);
+  std::cout << "\nCSV:\n";
+  core::triad_table(rows).print_csv(std::cout);
+  std::cout << '\n';
+}
+
+void bm_triad_dedicated(benchmark::State& state) {
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = 1024;
+  setup.inc = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmp::run_triad(machine, setup, /*other_cpu_active=*/false));
+  }
+}
+BENCHMARK(bm_triad_dedicated)->Arg(1)->Arg(2)->Arg(8);
+
+void bm_triad_contended(benchmark::State& state) {
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = 1024;
+  setup.inc = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmp::run_triad(machine, setup, /*other_cpu_active=*/true));
+  }
+}
+BENCHMARK(bm_triad_contended)->Arg(1)->Arg(2)->Arg(8);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

@@ -1,0 +1,51 @@
+// Companion experiments ([10]): the classic vector kernels (copy, scale,
+// sum, daxpy, triad) across strides on the X-MP model, dedicated and
+// contended.  The triad column of this table is Fig. 10 in miniature; the
+// other kernels show that the stride story is workload-independent while
+// the absolute cost scales with operand count.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void print_figure() {
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = 1024;
+  Table table{{"kernel", "INC", "cycles (dedicated)", "cycles (contended)", "slowdown",
+               "bank conflicts"},
+              "Vector kernels on the X-MP model (n = 1024)"};
+  for (const auto& spec : xmp::all_kernels()) {
+    for (i64 inc : {i64{1}, i64{2}, i64{6}, i64{8}}) {
+      setup.inc = inc;
+      const auto dedicated = xmp::run_kernel(machine, spec, setup, false);
+      const auto contended = xmp::run_kernel(machine, spec, setup, true);
+      table.add_row({spec.name, cell(static_cast<long long>(inc)),
+                     cell(static_cast<long long>(dedicated.cycles)),
+                     cell(static_cast<long long>(contended.cycles)),
+                     cell(static_cast<double>(contended.cycles) /
+                              static_cast<double>(dedicated.cycles),
+                          3),
+                     cell(static_cast<long long>(contended.conflicts.bank))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_kernel(benchmark::State& state) {
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = 1024;
+  const auto& spec = xmp::all_kernels()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmp::run_kernel(machine, spec, setup, true));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(bm_kernel)->DenseRange(0, 6);
+
+}  // namespace
+
+VPMEM_FIGURE_MAIN(print_figure)

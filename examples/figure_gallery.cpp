@@ -1,0 +1,60 @@
+// Regenerates the paper's clock diagrams (Figs. 2-9) from live
+// simulations, in the paper's own notation.
+//
+//   $ ./figure_gallery
+#include <iostream>
+
+#include "vpmem/vpmem.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void show(const std::string& title, const sim::MemoryConfig& cfg,
+          const std::vector<sim::StreamConfig>& streams, i64 cycles, bool sections = false) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << trace::render_run(cfg, streams, cycles, sections);
+  const auto ss = sim::find_steady_state(cfg, streams);
+  std::cout << "steady-state b_eff = " << ss.bandwidth.str() << " (period " << ss.period
+            << ", transient " << ss.transient_cycles << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vpmem;
+
+  show("Fig. 2 — conflict-free access (m=12, nc=3, d1=1, d2=7)",
+       {.banks = 12, .sections = 12, .bank_cycle = 3}, sim::two_streams(0, 1, 3, 7), 36);
+
+  show("Fig. 3 — barrier-situation (m=13, nc=6, d1=1, d2=6)",
+       {.banks = 13, .sections = 13, .bank_cycle = 6}, sim::two_streams(0, 1, 0, 6), 39);
+
+  show("Fig. 4 — double conflict: barrier not reached (b2=1)",
+       {.banks = 13, .sections = 13, .bank_cycle = 6}, sim::two_streams(0, 1, 1, 6), 39);
+
+  show("Fig. 5 — barrier-situation (m=13, nc=4, d1=1, d2=3, b2=7)",
+       {.banks = 13, .sections = 13, .bank_cycle = 4}, sim::two_streams(0, 1, 7, 3), 39);
+
+  show("Fig. 6 — inverted barrier-situation (b2=1)",
+       {.banks = 13, .sections = 13, .bank_cycle = 4}, sim::two_streams(0, 1, 1, 3), 39);
+
+  show("Fig. 7 — conflict-free with two sections (m=12, s=2, nc=2, offset 3)",
+       {.banks = 12, .sections = 2, .bank_cycle = 2}, sim::two_streams(0, 1, 3, 1, true), 34,
+       /*sections=*/true);
+
+  show("Fig. 8(a) — linked conflict, fixed priority (m=12, s=3, nc=3)",
+       {.banks = 12, .sections = 3, .bank_cycle = 3}, sim::two_streams(0, 1, 1, 1, true), 34,
+       /*sections=*/true);
+
+  show("Fig. 8(b) — linked conflict resolved by cyclic priority",
+       {.banks = 12, .sections = 3, .bank_cycle = 3, .priority = sim::PriorityRule::cyclic},
+       sim::two_streams(0, 1, 1, 1, true), 34, /*sections=*/true);
+
+  show("Fig. 9 — linked conflict resolved by consecutive-bank sections",
+       {.banks = 12, .sections = 3, .bank_cycle = 3,
+        .mapping = sim::SectionMapping::consecutive},
+       sim::two_streams(0, 1, 1, 1, true), 34, /*sections=*/true);
+
+  return 0;
+}

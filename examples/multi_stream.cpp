@@ -1,0 +1,41 @@
+// Multi-stream saturation: how many vector ports can an interleaved
+// memory actually feed?  Reproduces the Section IV observation that six
+// active ports saturate 16 banks with nc = 4 (6*nc = 24 > 16), and
+// contrasts structured streams with random traffic.
+//
+//   $ ./multi_stream [banks] [bank_cycle] [max_ports]
+#include <cstdlib>
+#include <iostream>
+
+#include "vpmem/vpmem.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpmem;
+
+  const i64 m = argc > 1 ? std::atoll(argv[1]) : 16;
+  const i64 nc = argc > 2 ? std::atoll(argv[2]) : 4;
+  const i64 max_ports = argc > 3 ? std::atoll(argv[3]) : 8;
+  const sim::MemoryConfig cfg{.banks = m, .sections = m, .bank_cycle = nc};
+
+  std::cout << "Memory: m = " << m << ", nc = " << nc
+            << "; service bound per period = m/nc = " << cell(static_cast<double>(m) / static_cast<double>(nc), 2)
+            << "\n\n";
+
+  Table table{{"ports", "stride-1 b_eff (nc-spaced)", "stride-1 b_eff (same bank)",
+               "random b_eff", "utilization"},
+              "Streams vs ports"};
+  for (i64 p = 1; p <= max_ports; ++p) {
+    const auto spaced = core::analyze_group(cfg, core::uniform_streams(p, 1, nc, m));
+    const auto clumped = core::analyze_group(cfg, core::uniform_streams(p, 1, 0, m));
+    const double random_bw = baseline::random_traffic_bandwidth(cfg, p, 1'000, 20'000);
+    table.add_row({cell(static_cast<long long>(p)), spaced.bandwidth.str(),
+                   clumped.bandwidth.str(), cell(random_bw, 3),
+                   cell(100.0 * spaced.utilization(m, nc), 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith nc-spaced starts, stride-1 streams time-share every bank perfectly\n"
+               "until p*nc > m; past that, added ports only redistribute the same m/nc\n"
+               "grants per period. Random traffic never reaches the bound.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Skewing demo: why the conclusion recommends skewed storage.
+//
+// A 64x64 Fortran matrix on a 16-bank memory (Cray X-MP geometry):
+// columns stream perfectly, but rows of the unpadded matrix hit one bank
+// (distance 64 mod 16 = 0) and collapse to b_eff = 1/nc.  Padding the
+// leading dimension fixes rows but diagonals remain workload-dependent;
+// a (1, delta)-skew fixes columns, rows and both diagonals at once.
+//
+//   $ ./skewing_demo [banks] [bank_cycle]
+#include <cstdlib>
+#include <iostream>
+
+#include "vpmem/vpmem.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+void report(const std::string& title, const skew::StorageScheme& scheme,
+            const skew::MatrixLayout& layout, i64 m, i64 nc) {
+  std::cout << "--- " << title << " ---\n";
+  for (const auto& r : skew::analyze_scheme(scheme, layout, m, nc)) {
+    // Cross-check each analytic row against the exact simulator.
+    sim::StreamConfig stream;
+    stream.bank_pattern = skew::bank_sequence(scheme, layout, r.pattern, m);
+    const auto ss = sim::find_steady_state(
+        sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc}, {stream});
+    std::cout << "  " << skew::to_string(r.pattern) << ": distance " << r.distance
+              << ", b_eff " << r.bandwidth.str() << " (simulated " << ss.bandwidth.str()
+              << ")" << (r.conflict_free ? "" : "  [SELF-CONFLICTING]") << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpmem;
+
+  const i64 m = argc > 1 ? std::atoll(argv[1]) : 16;
+  const i64 nc = argc > 2 ? std::atoll(argv[2]) : 4;
+  std::cout << "Memory: m = " << m << " banks, nc = " << nc << "\n\n";
+
+  const skew::MatrixLayout unpadded{.rows = 64, .cols = 64, .lda = 64};
+  report("Interleaved, REAL A(64,64)", skew::StorageScheme{}, unpadded, m, nc);
+
+  const i64 safe = analytic::safe_leading_dimension(64, m);
+  const skew::MatrixLayout padded{.rows = 64, .cols = 64, .lda = safe};
+  report("Interleaved, padded REAL A(" + std::to_string(safe) + ",64)", skew::StorageScheme{},
+         padded, m, nc);
+
+  if (const auto delta = skew::find_good_skew(m, nc)) {
+    report("Skewed storage, delta = " + std::to_string(*delta),
+           skew::StorageScheme{.kind = skew::SchemeKind::skewed, .skew = *delta}, unpadded, m,
+           nc);
+    std::cout << "delta = " << *delta << " keeps columns (d=1), rows (d=" << *delta
+              << ") and both diagonals (d=" << *delta + 1 << ", " << mod_norm(1 - *delta, m)
+              << ") above the r >= nc threshold simultaneously.\n";
+  } else {
+    std::cout << "No single skew fixes all four patterns for m = " << m << ", nc = " << nc
+              << " (see skew::find_good_skew docs).\n";
+  }
+  return 0;
+}

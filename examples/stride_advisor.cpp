@@ -1,0 +1,45 @@
+// Stride advisor: apply the paper's programming guidance (Conclusion) to a
+// realistic Fortran kernel — matrix operations on an m-way interleaved
+// memory.  Shows why padding a leading dimension that shares a factor with
+// the bank count rescues bandwidth.
+//
+//   $ ./stride_advisor [banks] [bank_cycle]
+#include <cstdlib>
+#include <iostream>
+
+#include "vpmem/vpmem.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpmem;
+
+  const i64 banks = argc > 1 ? std::atoll(argv[1]) : 16;
+  const i64 nc = argc > 2 ? std::atoll(argv[2]) : 4;
+  const sim::MemoryConfig memory{.banks = banks, .sections = banks, .bank_cycle = nc};
+
+  std::cout << "Memory: m = " << banks << " banks, bank cycle nc = " << nc << "\n\n";
+
+  // A 512x512 matrix stored column-major (Fortran).  A transpose-like
+  // kernel reads columns of A (unit stride) and rows of B (stride = leading
+  // dimension).
+  std::cout << "--- Unpadded: REAL A(512,512), B(512,512) ---\n";
+  const core::AdvisorReport bad = core::advise(
+      memory, {core::PlannedAccess{.name = "A(:,j) column", .dims = {512, 512}, .dim_index = 0},
+               core::PlannedAccess{.name = "B(i,:) row", .dims = {512, 512}, .dim_index = 1}});
+  std::cout << bad.str() << '\n';
+
+  // The paper's fix: a leading dimension relatively prime to m.
+  const i64 padded = analytic::safe_leading_dimension(512, banks);
+  std::cout << "--- Padded: REAL A(" << padded << ",512), B(" << padded << ",512) ---\n";
+  const core::AdvisorReport good = core::advise(
+      memory,
+      {core::PlannedAccess{.name = "A(:,j) column", .dims = {padded, 512}, .dim_index = 0},
+       core::PlannedAccess{.name = "B(i,:) row", .dims = {padded, 512}, .dim_index = 1}});
+  std::cout << good.str() << '\n';
+
+  // Cross-check the padded row access with the exact simulator.
+  const i64 row_distance = analytic::array_distance(std::vector<i64>{padded, 512}, 1, 1, banks);
+  const core::SingleStreamReport check = core::analyze_single(memory, row_distance);
+  std::cout << "Simulated b_eff for the padded row access (distance " << row_distance
+            << "): " << check.simulated.str() << '\n';
+  return 0;
+}

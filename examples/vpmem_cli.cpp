@@ -1,0 +1,212 @@
+// vpmem_cli — command-line front end to the library.
+//
+//   vpmem_cli single <m> <nc> <d>
+//       One-stream analysis: return number, predicted and simulated b_eff.
+//   vpmem_cli pair <m> <nc> <d1> <d2> [--same-cpu] [--sections s]
+//       Two-stream classification plus the exact offset sweep.
+//   vpmem_cli render <m> <nc> <d1> <d2> <b1> <b2> [cycles] [--same-cpu]
+//            [--sections s] [--cyclic-priority] [--consecutive]
+//       Draw the clock diagram in the paper's notation.
+//   vpmem_cli triad <n> <inc> [--dedicated]
+//       Run the Section IV triad on the X-MP model.
+//   vpmem_cli idim <m> <nc> <stride> <arrays> <min_elements>
+//       Recommend a COMMON array extent (the IDIM question).
+//   vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]
+//            [--cyclic-priority] [--consecutive]
+//       Conflict-regime map over every relative start position.
+//   vpmem_cli kernel <name> <n> <inc> [--dedicated]
+//       Run copy/scale/sum/daxpy/triad/gather/scatter on the X-MP model.
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vpmem/vpmem.hpp"
+
+namespace {
+
+using namespace vpmem;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  vpmem_cli single <m> <nc> <d>\n"
+               "  vpmem_cli pair <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
+               "  vpmem_cli render <m> <nc> <d1> <d2> <b1> <b2> [cycles] [--same-cpu]\n"
+               "           [--sections s] [--cyclic-priority] [--consecutive]\n"
+               "  vpmem_cli triad <n> <inc> [--dedicated]\n"
+               "  vpmem_cli idim <m> <nc> <stride> <arrays> <min_elements>\n"
+               "  vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
+               "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n";
+  return 2;
+}
+
+struct Args {
+  std::vector<i64> positional;
+  std::string word;  // non-numeric positional (kernel name)
+  bool same_cpu = false;
+  bool dedicated = false;
+  bool cyclic_priority = false;
+  bool consecutive = false;
+  i64 sections = 0;  // 0 = same as banks
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--same-cpu") {
+      args.same_cpu = true;
+    } else if (a == "--dedicated") {
+      args.dedicated = true;
+    } else if (a == "--cyclic-priority") {
+      args.cyclic_priority = true;
+    } else if (a == "--consecutive") {
+      args.consecutive = true;
+    } else if (a == "--sections") {
+      if (++i >= argc) return false;
+      args.sections = std::atoll(argv[i]);
+    } else if (!a.empty() && (std::isdigit(static_cast<unsigned char>(a[0])) != 0)) {
+      args.positional.push_back(std::atoll(a.c_str()));
+    } else if (!a.empty() && a[0] != '-' && args.word.empty()) {
+      args.word = a;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::MemoryConfig config_from(const Args& args, i64 m, i64 nc) {
+  return sim::MemoryConfig{
+      .banks = m,
+      .sections = args.sections > 0 ? args.sections : m,
+      .bank_cycle = nc,
+      .mapping = args.consecutive ? sim::SectionMapping::consecutive
+                                  : sim::SectionMapping::cyclic,
+      .priority = args.cyclic_priority ? sim::PriorityRule::cyclic : sim::PriorityRule::fixed};
+}
+
+int cmd_single(const Args& args) {
+  if (args.positional.size() != 3) return usage();
+  const auto [m, nc, d] = std::tuple{args.positional[0], args.positional[1], args.positional[2]};
+  const core::SingleStreamReport r = core::analyze_single(config_from(args, m, nc), d);
+  std::cout << "m=" << m << " nc=" << nc << " d=" << d << ": return number "
+            << r.return_number << ", predicted b_eff " << r.predicted.str() << ", simulated "
+            << r.simulated.str() << (r.consistent() ? "" : "  [MISMATCH]") << '\n';
+  return 0;
+}
+
+int cmd_pair(const Args& args) {
+  if (args.positional.size() != 4) return usage();
+  const core::PairReport r =
+      core::analyze_pair(config_from(args, args.positional[0], args.positional[1]),
+                         args.positional[2], args.positional[3], args.same_cpu);
+  std::cout << r.summary() << "\nby offset:";
+  for (std::size_t b2 = 0; b2 < r.by_offset.size(); ++b2) {
+    std::cout << ' ' << b2 << ':' << r.by_offset[b2].str();
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  if (args.positional.size() < 6) return usage();
+  const i64 m = args.positional[0];
+  const i64 nc = args.positional[1];
+  const i64 cycles = args.positional.size() > 6 ? args.positional[6] : 3 * m;
+  const auto streams = sim::two_streams(args.positional[4], args.positional[2],
+                                        args.positional[5], args.positional[3], args.same_cpu);
+  const auto cfg = config_from(args, m, nc);
+  std::cout << trace::render_run(cfg, streams, cycles, cfg.sections != m);
+  const auto ss = sim::find_steady_state(cfg, streams);
+  std::cout << "steady-state b_eff = " << ss.bandwidth.str() << '\n';
+  return 0;
+}
+
+int cmd_triad(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = args.positional[0];
+  setup.inc = args.positional[1];
+  const xmp::TriadResult r = xmp::run_triad(machine, setup, !args.dedicated);
+  std::cout << "triad n=" << setup.n << " inc=" << setup.inc
+            << (args.dedicated ? " (dedicated)" : " (contended)") << ": " << r.cycles
+            << " cycles, conflicts bank=" << r.conflicts.bank
+            << " section=" << r.conflicts.section << " simult=" << r.conflicts.simultaneous;
+  if (!args.dedicated) std::cout << ", other CPU b_eff " << cell(r.background_goodput(), 3);
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_diagnose(const Args& args) {
+  if (args.positional.size() != 4) return usage();
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const core::RegimeSweep sweep =
+      core::sweep_regimes(cfg, args.positional[2], args.positional[3], args.same_cpu);
+  for (std::size_t b2 = 0; b2 < sweep.by_offset.size(); ++b2) {
+    std::cout << "b2=" << b2 << ": " << sweep.by_offset[b2].summary() << '\n';
+  }
+  return 0;
+}
+
+int cmd_kernel(const Args& args) {
+  if (args.positional.size() != 2 || args.word.empty()) return usage();
+  const xmp::KernelSpec* spec = nullptr;
+  for (const auto& k : xmp::all_kernels()) {
+    if (k.name == args.word) spec = &k;
+  }
+  if (spec == nullptr) {
+    std::cerr << "unknown kernel '" << args.word << "'; choose from:";
+    for (const auto& k : xmp::all_kernels()) std::cerr << ' ' << k.name;
+    std::cerr << '\n';
+    return 2;
+  }
+  xmp::XmpConfig machine;
+  xmp::TriadSetup setup;
+  setup.n = args.positional[0];
+  setup.inc = args.positional[1];
+  const xmp::TriadResult r = xmp::run_kernel(machine, *spec, setup, !args.dedicated);
+  std::cout << spec->name << " n=" << setup.n << " inc=" << setup.inc
+            << (args.dedicated ? " (dedicated)" : " (contended)") << ": " << r.cycles
+            << " cycles, conflicts bank=" << r.conflicts.bank
+            << " section=" << r.conflicts.section << " simult=" << r.conflicts.simultaneous
+            << '\n';
+  return 0;
+}
+
+int cmd_idim(const Args& args) {
+  if (args.positional.size() != 5) return usage();
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const i64 idim = core::recommend_idim(cfg, args.positional[2], args.positional[3],
+                                        args.positional[4], args.same_cpu);
+  const auto sweep = core::sweep_array_spacing(cfg, args.positional[2], args.positional[3],
+                                               args.same_cpu);
+  std::cout << "recommended IDIM " << idim << " (spacing " << mod_norm(idim, cfg.banks)
+            << " mod " << cfg.banks << ", group b_eff " << sweep.best_bandwidth.str()
+            << "; worst spacing " << sweep.worst_spacing << " -> "
+            << sweep.worst_bandwidth.str() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "single") return cmd_single(args);
+    if (cmd == "pair") return cmd_pair(args);
+    if (cmd == "render") return cmd_render(args);
+    if (cmd == "triad") return cmd_triad(args);
+    if (cmd == "idim") return cmd_idim(args);
+    if (cmd == "diagnose") return cmd_diagnose(args);
+    if (cmd == "kernel") return cmd_kernel(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,53 @@
+// Pair classification: what the theorems predict for a pair of distances
+// (d1, d2) on an m-way interleaved memory with bank cycle nc, before any
+// start banks are chosen.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::analytic {
+
+/// Best-case / guaranteed behaviour of a pair of infinite streams
+/// (sections not a bottleneck, s = m).
+enum class PairClass {
+  /// At least one stream self-conflicts (r < nc); the pair analysis of
+  /// Section III-B does not apply.
+  self_conflicting,
+  /// Disjoint access sets achievable (Theorem 2): b_eff = 2 with suitable
+  /// start banks.
+  disjoint_possible,
+  /// Conflict-free by Theorem 3, with *synchronization*: every relative
+  /// start position converges to a conflict-free cycle, b_eff = 2 always.
+  conflict_free_synchronized,
+  /// A unique barrier-situation (Theorems 6/7): b_eff = 1 + d1/d2
+  /// regardless of start positions (after normalization).
+  unique_barrier,
+  /// Conflicting cycles whose bandwidth depends on the relative start
+  /// positions (barrier or double conflict); simulate to quantify.
+  start_dependent,
+};
+
+[[nodiscard]] std::string to_string(PairClass c);
+
+/// Classification plus the bandwidth the class guarantees (best case for
+/// disjoint_possible, exact for conflict_free_synchronized and
+/// unique_barrier, nullopt when start-dependent).
+struct PairPrediction {
+  PairClass cls = PairClass::start_dependent;
+  std::optional<Rational> bandwidth;
+  /// Distances after Appendix normalization (d1 | m), used by the barrier
+  /// theorems; equal to the inputs when already in canonical shape.
+  i64 norm_d1 = 0;
+  i64 norm_d2 = 0;
+};
+
+/// Classify the distance pair for s = m (no section bottleneck).
+/// `stream1_priority` enables the eq. 28 refinement of Theorem 7.
+[[nodiscard]] PairPrediction classify_pair(i64 m, i64 nc, i64 d1, i64 d2,
+                                           bool stream1_priority = false);
+
+}  // namespace vpmem::analytic

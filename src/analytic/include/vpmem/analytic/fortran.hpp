@@ -1,0 +1,35 @@
+// Section IV / Conclusion: mapping Fortran loop strides and array shapes
+// to bank distances (eq. 33) and the paper's programming advice ("choose
+// the dimension of arrays so that they are relatively prime to the number
+// of banks").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::analytic {
+
+/// Eq. 33: the bank distance that results from stepping with increment
+/// `inc` through dimension `dim_index` (0-based; 0 = leftmost, the
+/// contiguous one in Fortran) of an array with extents `dims`:
+///   d = (inc * prod_{i < dim_index} dims[i]) mod m.
+[[nodiscard]] i64 array_distance(std::span<const i64> dims, std::size_t dim_index, i64 inc,
+                                 i64 m);
+
+/// Element distance (not reduced mod m) for the same access pattern.
+[[nodiscard]] i64 array_stride_elements(std::span<const i64> dims, std::size_t dim_index,
+                                        i64 inc);
+
+/// Smallest extent >= `wanted` that is relatively prime to m — the safe
+/// leading-dimension padding rule from the conclusion.
+[[nodiscard]] i64 safe_leading_dimension(i64 wanted, i64 m);
+
+/// Start banks of consecutive arrays laid out back-to-back in a COMMON
+/// block starting at `base_bank`, each of `idim` elements (Section IV uses
+/// IDIM = 16*1024 + 1 so consecutive arrays start one bank apart).
+[[nodiscard]] std::vector<i64> common_block_start_banks(i64 base_bank, i64 idim,
+                                                        std::size_t arrays, i64 m);
+
+}  // namespace vpmem::analytic

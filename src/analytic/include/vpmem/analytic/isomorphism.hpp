@@ -1,0 +1,39 @@
+// Appendix "Isomorphism of Distances": the competition d1 (+) d2 of two
+// streams is unchanged (up to renumbering banks) by multiplying both
+// distances by any k with gcd(k, m) = 1.  For stream 1 only distances with
+// d1 | m need be considered; every other pair is isomorphic to such a one.
+#pragma once
+
+#include <optional>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::analytic {
+
+/// A distance pair brought to the canonical form the theorems assume.
+struct NormalizedPair {
+  i64 d1;         ///< canonical first distance, d1 | m
+  i64 d2;         ///< companion distance (mod m), in [0, m)
+  i64 k;          ///< multiplier used: d1 = k*orig_d1 mod m, gcd(k, m) = 1
+  bool swapped;   ///< true if the roles of the input streams were exchanged
+};
+
+/// Multiply both distances by k (mod m); requires gcd(k, m) = 1.
+[[nodiscard]] std::optional<NormalizedPair> apply_multiplier(i64 m, i64 d1, i64 d2, i64 k);
+
+/// Normalize (d1, d2) so that the first distance divides m, using the
+/// smallest admissible multiplier k.  Always succeeds for m >= 1: k can be
+/// chosen so that k*d1 = gcd(m, d1) (mod m).
+[[nodiscard]] NormalizedPair normalize_pair(i64 m, i64 d1, i64 d2);
+
+/// As normalize_pair, but additionally tries swapping the streams so that
+/// the normalized pair satisfies the barrier-theorem shape d1 | m and
+/// d2 > d1 whenever some isomorphic representative does.
+[[nodiscard]] NormalizedPair normalize_pair_ordered(i64 m, i64 d1, i64 d2);
+
+/// True if (a1, a2) and (c1, c2) describe isomorphic competitions, i.e.
+/// some k with gcd(k, m) = 1 maps one onto the other (in either stream
+/// order).
+[[nodiscard]] bool isomorphic(i64 m, i64 a1, i64 a2, i64 c1, i64 c2);
+
+}  // namespace vpmem::analytic

@@ -1,0 +1,44 @@
+// Analytic properties of a single constant-stride access stream
+// (Section III, Theorem 1 and Section III-A).
+#pragma once
+
+#include <vector>
+
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::analytic {
+
+/// Theorem 1: the return number r = m / gcd(m, d) — the number of accesses
+/// made before the stream requests the same bank again.  With the paper's
+/// convention gcd(m, 0) = m, a distance that is a multiple of m gives
+/// r = 1 (every access hits the start bank).
+[[nodiscard]] i64 return_number(i64 m, i64 d);
+
+/// The access set Z: the r distinct bank addresses the stream visits, in
+/// visiting order starting from b.
+[[nodiscard]] std::vector<i64> access_set(i64 m, i64 b, i64 d);
+
+/// The section set: distinct section addresses visited by the stream
+/// under the cyclic mapping k = j mod s, in first-visit order.
+[[nodiscard]] std::vector<i64> section_set(i64 m, i64 s, i64 b, i64 d);
+
+/// Section III-A: one stream's effective bandwidth.
+/// b_eff = 1 when r >= nc, else r / nc (r requests serviced every nc
+/// periods once the stream self-conflicts at its start bank).
+[[nodiscard]] Rational single_stream_bandwidth(i64 m, i64 d, i64 nc);
+
+/// True when the stream never conflicts with itself: r >= nc.
+[[nodiscard]] bool self_conflict_free(i64 m, i64 d, i64 nc);
+
+/// Generalization of Theorem 3's equal-distance case to p streams (the
+/// schedule behind the conclusion's "multitasking option": uniform
+/// streams time-share the banks).  p streams of distance d, started
+/// nc*d banks apart, are conflict-free iff consecutive visits to any
+/// bank are >= nc periods apart, i.e. r >= p * nc.
+[[nodiscard]] bool equal_distance_group_conflict_free(i64 m, i64 d, i64 nc, i64 p);
+
+/// The staggered start banks of that schedule: b_i = i * nc * d (mod m).
+[[nodiscard]] std::vector<i64> equal_distance_group_offsets(i64 m, i64 d, i64 nc, i64 p);
+
+}  // namespace vpmem::analytic

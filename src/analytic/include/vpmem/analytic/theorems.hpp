@@ -1,0 +1,106 @@
+// Theorems 2-9 of Oed & Lange (1985): conditions on two concurrent
+// constant-stride streams over an m-way interleaved memory with bank cycle
+// time nc (and, for Theorems 8/9, s sections).
+//
+// Each predicate evaluates exactly the inequality of the corresponding
+// equation; `*_preconditions_hold` helpers expose the side conditions the
+// paper states ("Let r1 >= 2nc; r2 > nc; Z1 ∩ Z2 != ∅; d1 | m; d2 > d1").
+#pragma once
+
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::analytic {
+
+// ---------------------------------------------------------------- Thm 2 --
+
+/// Theorem 2 (eq. 5): start banks with disjoint access sets exist iff
+/// gcd(m, d1, d2) > 1.
+[[nodiscard]] bool disjoint_access_sets_achievable(i64 m, i64 d1, i64 d2);
+
+/// Whether two *placed* streams actually have disjoint access sets.
+[[nodiscard]] bool access_sets_disjoint(i64 m, i64 b1, i64 d1, i64 b2, i64 d2);
+
+// ---------------------------------------------------------------- Thm 3 --
+
+/// Theorem 3 (eq. 12): with f = gcd(m, d1, d2), start banks making two
+/// streams with *non-disjoint* access sets conflict-free exist iff
+/// gcd(m/f, (d2 - d1)/f) >= 2*nc.  (gcd(x, 0) = x, so equal distances are
+/// conflict-free iff the return number r >= 2*nc.)
+[[nodiscard]] bool conflict_free_achievable(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// The start-bank offset the proof of Theorem 3 exhibits: b2 = nc*d1
+/// (mod m) relative to b1 = 0.  Stream 1 then arrives at b2 exactly when
+/// b2 becomes inactive again.
+[[nodiscard]] i64 conflict_free_offset(i64 m, i64 nc, i64 d1);
+
+// ------------------------------------------------------------- Thm 4-7 --
+
+/// Side conditions shared by Theorems 4-7: r1 >= 2nc, r2 > nc,
+/// non-disjoint access sets, d1 | m, d2 > d1.
+[[nodiscard]] bool barrier_preconditions_hold(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// Theorem 4 (eq. 17): start banks leading to a barrier-situation exist if
+/// ((d2 mod (m/d1)) - d1)/f < nc, f = gcd(m, d1, d2).  (The conflict-free
+/// stream "1" forms a barrier that regularly delays stream "2".)
+/// Implemented via the proof's eq. 20/21 form (1 <= c < nc), plus the
+/// implicit non-degeneracy d1'*d2' != 0 (mod m') the proof relies on.
+[[nodiscard]] bool barrier_possible(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// Theorem 5 (eq. 22): a double conflict (mutual delays) is *never*
+/// encountered if (nc - 1)*(d2 + d1) < m.
+///
+/// Reproduction note: the paper states this with only the side conditions
+/// of barrier_preconditions_hold(), but the guarantee empirically requires
+/// the eq. 17 barrier context as well — e.g. m=12, nc=2, d1=1, d2=4
+/// satisfies eq. 22 (1*5 < 12) yet every start position falls into a
+/// mutual-delay cycle (b_eff = 8/5).  Use barrier_possible() alongside
+/// this predicate; the property suite documents the counterexamples.
+[[nodiscard]] bool double_conflict_impossible(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// Theorem 6 (eq. 24): given eq. 17, the barrier-situation is unique
+/// (reached from every relative start position) if (2nc - 1)*d2 <= m.
+[[nodiscard]] bool unique_barrier_thm6(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// Theorem 7 (eq. 25): given eqs. 17 and 22 but not 24, a unique
+/// barrier-situation is reached if k*d2 < (k - nc)*d1 (mod m) with
+/// k = ceil(m/(d1*d2))*d1 < 2nc.  With stream 1 holding priority
+/// (eq. 28) equality also suffices.
+[[nodiscard]] bool unique_barrier_thm7(i64 m, i64 nc, i64 d1, i64 d2,
+                                       bool stream1_priority = false);
+
+/// Combined: barrier-situation is unique by Theorem 6 or Theorem 7.
+[[nodiscard]] bool unique_barrier(i64 m, i64 nc, i64 d1, i64 d2, bool stream1_priority = false);
+
+/// Eq. 29: effective bandwidth of a unique barrier-situation,
+/// b_eff = 1 + d1/d2 < 2 (the delayed stream completes d1/f accesses per
+/// d2/f clock periods while the barrier stream runs freely).
+[[nodiscard]] Rational barrier_bandwidth(i64 d1, i64 d2);
+
+// ------------------------------------------------------- Thm 8/9, s < m --
+
+/// Theorem 8 (eq. 30): with s < m sections (cyclic bank distribution),
+/// disjoint access sets but overlapping section sets, conflict-free
+/// streams require gcd(s, d2 - d1) >= 2.
+[[nodiscard]] bool section_conflict_free_disjoint(i64 s, i64 d1, i64 d2);
+
+/// Theorem 9 (eq. 31): when eq. 12 holds, the streams are conflict-free
+/// (with offset nc*d1) if nc*d1 is not a multiple of s.
+[[nodiscard]] bool section_condition_thm9(i64 s, i64 nc, i64 d1);
+
+/// Eq. 32: when eq. 31 fails, conflict-freeness is still possible with the
+/// offset (nc+1)*d1 if gcd(m/f, (d2 - d1)/f) >= 2*(nc + 1) — one extra
+/// clock period avoids the section conflict.
+[[nodiscard]] bool conflict_free_achievable_ext(i64 m, i64 nc, i64 d1, i64 d2);
+
+/// Start-bank offset used by eq. 32: (nc + 1)*d1 mod m.
+[[nodiscard]] i64 conflict_free_offset_ext(i64 m, i64 nc, i64 d1);
+
+/// Conflict-free achievability for non-disjoint access sets in a
+/// sectioned memory: eq. 12 together with Theorem 9, or the eq. 32
+/// relaxation.  Returns the usable relative offset via `offset_out`
+/// (untouched when the function returns false).
+[[nodiscard]] bool conflict_free_with_sections(i64 m, i64 s, i64 nc, i64 d1, i64 d2,
+                                               i64* offset_out = nullptr);
+
+}  // namespace vpmem::analytic

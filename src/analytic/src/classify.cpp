@@ -1,0 +1,50 @@
+#include "vpmem/analytic/classify.hpp"
+
+#include "vpmem/analytic/isomorphism.hpp"
+#include "vpmem/analytic/stream.hpp"
+#include "vpmem/analytic/theorems.hpp"
+
+namespace vpmem::analytic {
+
+std::string to_string(PairClass c) {
+  switch (c) {
+    case PairClass::self_conflicting: return "self-conflicting";
+    case PairClass::disjoint_possible: return "disjoint-possible";
+    case PairClass::conflict_free_synchronized: return "conflict-free";
+    case PairClass::unique_barrier: return "unique-barrier";
+    case PairClass::start_dependent: return "start-dependent";
+  }
+  return "?";
+}
+
+PairPrediction classify_pair(i64 m, i64 nc, i64 d1, i64 d2, bool stream1_priority) {
+  PairPrediction out;
+  const NormalizedPair norm = normalize_pair_ordered(m, d1, d2);
+  out.norm_d1 = norm.d1;
+  out.norm_d2 = norm.d2;
+
+  if (!self_conflict_free(m, d1, nc) || !self_conflict_free(m, d2, nc)) {
+    out.cls = PairClass::self_conflicting;
+    return out;
+  }
+  if (conflict_free_achievable(m, nc, d1, d2)) {
+    // Theorem 3 plus the synchronization property: any offset converges.
+    out.cls = PairClass::conflict_free_synchronized;
+    out.bandwidth = Rational{2};
+    return out;
+  }
+  if (disjoint_access_sets_achievable(m, d1, d2)) {
+    out.cls = PairClass::disjoint_possible;
+    out.bandwidth = Rational{2};  // achievable, not guaranteed for all starts
+    return out;
+  }
+  if (unique_barrier(m, nc, norm.d1, norm.d2, stream1_priority)) {
+    out.cls = PairClass::unique_barrier;
+    out.bandwidth = barrier_bandwidth(norm.d1, norm.d2);
+    return out;
+  }
+  out.cls = PairClass::start_dependent;
+  return out;
+}
+
+}  // namespace vpmem::analytic

@@ -1,0 +1,44 @@
+#include "vpmem/analytic/fortran.hpp"
+
+#include <stdexcept>
+
+namespace vpmem::analytic {
+
+i64 array_stride_elements(std::span<const i64> dims, std::size_t dim_index, i64 inc) {
+  if (dim_index >= dims.size()) {
+    throw std::invalid_argument{"array_stride_elements: dim_index out of range"};
+  }
+  i64 stride = 1;
+  for (std::size_t i = 0; i < dim_index; ++i) {
+    if (dims[i] < 1) throw std::invalid_argument{"array_stride_elements: extents must be >= 1"};
+    stride *= dims[i];
+  }
+  return inc * stride;
+}
+
+i64 array_distance(std::span<const i64> dims, std::size_t dim_index, i64 inc, i64 m) {
+  if (m < 1) throw std::invalid_argument{"array_distance: m must be >= 1"};
+  return mod_norm(array_stride_elements(dims, dim_index, inc), m);
+}
+
+i64 safe_leading_dimension(i64 wanted, i64 m) {
+  if (wanted < 1 || m < 1) {
+    throw std::invalid_argument{"safe_leading_dimension: arguments must be >= 1"};
+  }
+  i64 j = wanted;
+  while (!coprime(j, m)) ++j;
+  return j;
+}
+
+std::vector<i64> common_block_start_banks(i64 base_bank, i64 idim, std::size_t arrays, i64 m) {
+  if (m < 1) throw std::invalid_argument{"common_block_start_banks: m must be >= 1"};
+  if (idim < 1) throw std::invalid_argument{"common_block_start_banks: idim must be >= 1"};
+  std::vector<i64> banks;
+  banks.reserve(arrays);
+  for (std::size_t a = 0; a < arrays; ++a) {
+    banks.push_back(mod_norm(base_bank + static_cast<i64>(a) * idim, m));
+  }
+  return banks;
+}
+
+}  // namespace vpmem::analytic

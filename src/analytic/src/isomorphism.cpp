@@ -1,0 +1,54 @@
+#include "vpmem/analytic/isomorphism.hpp"
+
+#include <stdexcept>
+
+namespace vpmem::analytic {
+
+std::optional<NormalizedPair> apply_multiplier(i64 m, i64 d1, i64 d2, i64 k) {
+  if (m < 1) throw std::invalid_argument{"apply_multiplier: m must be >= 1"};
+  if (!coprime(k, m)) return std::nullopt;
+  return NormalizedPair{.d1 = mod_norm(k * d1, m),
+                        .d2 = mod_norm(k * d2, m),
+                        .k = mod_norm(k, m),
+                        .swapped = false};
+}
+
+NormalizedPair normalize_pair(i64 m, i64 d1, i64 d2) {
+  if (m < 1) throw std::invalid_argument{"normalize_pair: m must be >= 1"};
+  const i64 d1n = mod_norm(d1, m);
+  // Target: k*d1 == gcd(m, d1) (mod m).  gcd(m, 0) = m == 0 (mod m), so a
+  // zero distance stays zero (which divides m in the mod-m sense; callers
+  // treat it as the degenerate always-same-bank stream).
+  for (i64 k = 1; k < m + 1; ++k) {
+    if (!coprime(k, m)) continue;
+    const i64 c1 = mod_norm(k * d1n, m);
+    if (c1 == 0 ? d1n == 0 : m % c1 == 0) {
+      return NormalizedPair{.d1 = c1, .d2 = mod_norm(k * d2, m), .k = k, .swapped = false};
+    }
+  }
+  throw std::logic_error{"normalize_pair: no admissible multiplier (unreachable)"};
+}
+
+NormalizedPair normalize_pair_ordered(i64 m, i64 d1, i64 d2) {
+  const NormalizedPair forward = normalize_pair(m, d1, d2);
+  if (forward.d1 >= 1 && forward.d2 > forward.d1) return forward;
+  NormalizedPair swapped = normalize_pair(m, d2, d1);
+  swapped.swapped = true;
+  if (swapped.d1 >= 1 && swapped.d2 > swapped.d1) return swapped;
+  return forward;  // no representative has the theorem shape; return canon
+}
+
+bool isomorphic(i64 m, i64 a1, i64 a2, i64 c1, i64 c2) {
+  if (m < 1) throw std::invalid_argument{"isomorphic: m must be >= 1"};
+  const i64 t1 = mod_norm(c1, m);
+  const i64 t2 = mod_norm(c2, m);
+  for (i64 k = 1; k <= m; ++k) {
+    if (!coprime(k, m)) continue;
+    const i64 x1 = mod_norm(k * a1, m);
+    const i64 x2 = mod_norm(k * a2, m);
+    if ((x1 == t1 && x2 == t2) || (x1 == t2 && x2 == t1)) return true;
+  }
+  return false;
+}
+
+}  // namespace vpmem::analytic

@@ -1,0 +1,70 @@
+#include "vpmem/analytic/stream.hpp"
+
+#include <stdexcept>
+
+namespace vpmem::analytic {
+
+namespace {
+void check_m(i64 m) {
+  if (m < 1) throw std::invalid_argument{"analytic: m must be >= 1"};
+}
+}  // namespace
+
+i64 return_number(i64 m, i64 d) {
+  check_m(m);
+  const i64 g = gcd(m, mod_norm(d, m));
+  return m / (g == 0 ? m : g);  // gcd(m, 0) == m by the paper's convention
+}
+
+std::vector<i64> access_set(i64 m, i64 b, i64 d) {
+  check_m(m);
+  const i64 r = return_number(m, d);
+  std::vector<i64> z;
+  z.reserve(static_cast<std::size_t>(r));
+  for (i64 k = 0; k < r; ++k) z.push_back(mod_norm(b + k * d, m));
+  return z;
+}
+
+std::vector<i64> section_set(i64 m, i64 s, i64 b, i64 d) {
+  check_m(m);
+  if (s < 1 || m % s != 0) throw std::invalid_argument{"section_set: s must divide m"};
+  std::vector<bool> seen(static_cast<std::size_t>(s), false);
+  std::vector<i64> out;
+  for (i64 bank : access_set(m, b, d)) {
+    const i64 sec = bank % s;
+    if (!seen[static_cast<std::size_t>(sec)]) {
+      seen[static_cast<std::size_t>(sec)] = true;
+      out.push_back(sec);
+    }
+  }
+  return out;
+}
+
+Rational single_stream_bandwidth(i64 m, i64 d, i64 nc) {
+  check_m(m);
+  if (nc < 1) throw std::invalid_argument{"analytic: nc must be >= 1"};
+  const i64 r = return_number(m, d);
+  if (r >= nc) return Rational{1};
+  return Rational{r, nc};
+}
+
+bool self_conflict_free(i64 m, i64 d, i64 nc) {
+  return return_number(m, d) >= nc;
+}
+
+bool equal_distance_group_conflict_free(i64 m, i64 d, i64 nc, i64 p) {
+  check_m(m);
+  if (nc < 1 || p < 1) throw std::invalid_argument{"analytic: nc, p must be >= 1"};
+  return return_number(m, d) >= p * nc;
+}
+
+std::vector<i64> equal_distance_group_offsets(i64 m, i64 d, i64 nc, i64 p) {
+  check_m(m);
+  if (nc < 1 || p < 1) throw std::invalid_argument{"analytic: nc, p must be >= 1"};
+  std::vector<i64> offsets;
+  offsets.reserve(static_cast<std::size_t>(p));
+  for (i64 i = 0; i < p; ++i) offsets.push_back(mod_norm(i * nc * d, m));
+  return offsets;
+}
+
+}  // namespace vpmem::analytic

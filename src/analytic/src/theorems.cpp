@@ -1,0 +1,176 @@
+#include "vpmem/analytic/theorems.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::analytic {
+
+namespace {
+
+void check_args(i64 m, i64 nc) {
+  if (m < 1) throw std::invalid_argument{"analytic: m must be >= 1"};
+  if (nc < 1) throw std::invalid_argument{"analytic: nc must be >= 1"};
+}
+
+/// gcd with the paper's convention gcd(x, 0) = x.
+i64 gcd0(i64 a, i64 b) { return b == 0 ? a : gcd(a, b); }
+
+/// The primed quantities of the proofs: everything divided by
+/// f = gcd(m, d1, d2).
+struct Primed {
+  i64 f;
+  i64 m;
+  i64 d1;
+  i64 d2;
+};
+
+Primed primed(i64 m, i64 d1, i64 d2) {
+  i64 f = gcd(m, d1, d2);
+  if (f == 0) f = 1;
+  return Primed{f, m / f, d1 / f, d2 / f};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Thm 2 --
+
+bool disjoint_access_sets_achievable(i64 m, i64 d1, i64 d2) {
+  check_args(m, 1);
+  return gcd(m, d1, d2) > 1;
+}
+
+bool access_sets_disjoint(i64 m, i64 b1, i64 d1, i64 b2, i64 d2) {
+  check_args(m, 1);
+  std::vector<bool> in_z1(static_cast<std::size_t>(m), false);
+  for (i64 bank : access_set(m, b1, d1)) in_z1[static_cast<std::size_t>(bank)] = true;
+  for (i64 bank : access_set(m, b2, d2)) {
+    if (in_z1[static_cast<std::size_t>(bank)]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- Thm 3 --
+
+bool conflict_free_achievable(i64 m, i64 nc, i64 d1, i64 d2) {
+  check_args(m, nc);
+  const Primed p = primed(m, d1, d2);
+  return gcd0(p.m, gcd(p.m, p.d2 - p.d1)) >= 2 * nc;
+}
+
+i64 conflict_free_offset(i64 m, i64 nc, i64 d1) {
+  check_args(m, nc);
+  return mod_norm(nc * d1, m);
+}
+
+// ------------------------------------------------------------- Thm 4-7 --
+
+bool barrier_preconditions_hold(i64 m, i64 nc, i64 d1, i64 d2) {
+  check_args(m, nc);
+  if (d1 < 1 || d2 <= d1) return false;
+  if (m % d1 != 0) return false;  // d1 | m
+  return return_number(m, d1) >= 2 * nc && return_number(m, d2) > nc;
+}
+
+bool barrier_possible(i64 m, i64 nc, i64 d1, i64 d2) {
+  if (!barrier_preconditions_hold(m, nc, d1, d2)) return false;
+  const Primed p = primed(m, d1, d2);
+  // The proof of Theorem 4 uses "the first common address after 0 is
+  // d1'*d2' mod m'"; when d1'*d2' == 0 (mod m') that address is 0 itself
+  // and the construction degenerates — empirically (property suite) no
+  // barrier placement exists then (e.g. m=12, nc=2, d1=3, d2=8 runs at
+  // 7/4 from every offset instead of 1 + 3/8).
+  if (mod_norm(p.d1 * p.d2, p.m) == 0) return false;
+  // Eq. (20/21) of the proof, in primed quantities: a barrier placement
+  // exists iff d2' == d1' + c (mod m'') with 1 <= c < nc, m'' = m'/d1'.
+  const i64 m2 = p.m / p.d1;
+  if (m2 == 0) return false;
+  const i64 c = mod_norm(p.d2 - p.d1, m2);
+  return c >= 1 && c < nc;
+}
+
+bool double_conflict_impossible(i64 m, i64 nc, i64 d1, i64 d2) {
+  check_args(m, nc);
+  return (nc - 1) * (d2 + d1) < m;
+}
+
+bool unique_barrier_thm6(i64 m, i64 nc, i64 d1, i64 d2) {
+  return barrier_possible(m, nc, d1, d2) && (2 * nc - 1) * d2 <= m;
+}
+
+bool unique_barrier_thm7(i64 m, i64 nc, i64 d1, i64 d2, bool stream1_priority) {
+  if (!barrier_possible(m, nc, d1, d2)) return false;
+  if (!double_conflict_impossible(m, nc, d1, d2)) return false;
+  // Proof works in primed quantities (eqs. 26/27); eq. 25 is the same test
+  // scaled back by f.
+  const Primed p = primed(m, d1, d2);
+  if (p.d1 == 0 || p.d2 == 0) return false;
+  const i64 k = ceil_div(p.m, p.d1 * p.d2) * p.d1;
+  if (k >= 2 * nc) return false;
+  const i64 lhs = mod_norm(k * p.d2, p.m);
+  const i64 rhs = mod_norm((k - nc) * p.d1, p.m);
+  return stream1_priority ? lhs <= rhs : lhs < rhs;
+}
+
+bool unique_barrier(i64 m, i64 nc, i64 d1, i64 d2, bool stream1_priority) {
+  return unique_barrier_thm6(m, nc, d1, d2) ||
+         unique_barrier_thm7(m, nc, d1, d2, stream1_priority);
+}
+
+Rational barrier_bandwidth(i64 d1, i64 d2) {
+  if (d1 < 0 || d2 <= 0) throw std::invalid_argument{"barrier_bandwidth: need d2 > 0, d1 >= 0"};
+  return Rational{1} + Rational{d1, d2};
+}
+
+// ------------------------------------------------------- Thm 8/9, s < m --
+
+bool section_conflict_free_disjoint(i64 s, i64 d1, i64 d2) {
+  if (s < 1) throw std::invalid_argument{"analytic: s must be >= 1"};
+  return gcd0(s, gcd(s, d2 - d1)) >= 2;
+}
+
+bool section_condition_thm9(i64 s, i64 nc, i64 d1) {
+  if (s < 1 || nc < 1) throw std::invalid_argument{"analytic: s, nc must be >= 1"};
+  return mod_norm(nc * d1, s) != 0;
+}
+
+bool conflict_free_achievable_ext(i64 m, i64 nc, i64 d1, i64 d2) {
+  check_args(m, nc);
+  const Primed p = primed(m, d1, d2);
+  return gcd0(p.m, gcd(p.m, p.d2 - p.d1)) >= 2 * (nc + 1);
+}
+
+i64 conflict_free_offset_ext(i64 m, i64 nc, i64 d1) {
+  check_args(m, nc);
+  return mod_norm((nc + 1) * d1, m);
+}
+
+bool conflict_free_with_sections(i64 m, i64 s, i64 nc, i64 d1, i64 d2, i64* offset_out) {
+  check_args(m, nc);
+  if (s < 1 || m % s != 0) throw std::invalid_argument{"analytic: s must divide m"};
+  // Reproduction note: Theorem 9's guard ("nc*d1 and s relatively prime")
+  // is not sufficient.  With start offset o, the bank differences between
+  // simultaneous requests are o + j*(d2-d1) mod m, whose residues mod s
+  // sweep o + multiples of gcd(g, s) with g = gcd(m, d2-d1) — a section
+  // collision is avoided iff o is NOT a multiple of gcd(g, s).
+  // Counterexample to the paper's version: m=12, s=3, nc=2, d1=1, d2=5
+  // (g=4, gcd(g,s)=1): every offset eventually collides, yet nc*d1 = 2 is
+  // relatively prime to s.  The property suite pins this down.
+  const i64 g = gcd0(m, gcd(m, d2 - d1));
+  const i64 gs = gcd(g, s);
+  auto offset_safe = [&](i64 offset) { return gs > 0 && mod_norm(offset, gs) != 0; };
+  if (conflict_free_achievable(m, nc, d1, d2) && offset_safe(nc * d1)) {
+    if (offset_out != nullptr) *offset_out = conflict_free_offset(m, nc, d1);
+    return true;
+  }
+  // Eq. 32: spend one extra clock period; requires the wider gcd bound and
+  // that the shifted offset itself avoids the section alignment.
+  if (conflict_free_achievable_ext(m, nc, d1, d2) && offset_safe((nc + 1) * d1)) {
+    if (offset_out != nullptr) *offset_out = conflict_free_offset_ext(m, nc, d1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vpmem::analytic

@@ -1,0 +1,45 @@
+// Random-reference baseline.
+//
+// The models the paper builds on ([1]-[5]: Budnik/Kuck, Ravi, Bhandarkar,
+// Lawrie, Chang/Kuck/Lawrie) analyze *random* requests to interleaved
+// memories.  This module provides that baseline for comparison with
+// vector-mode streams: p processors issuing uniformly random bank
+// requests with the same dynamic conflict resolution (a delayed processor
+// retries the same bank), plus the classical closed-form acceptance model
+// for nc = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::baseline {
+
+/// A periodic pseudo-random bank sequence usable as
+/// sim::StreamConfig::bank_pattern.  Deterministic in (m, length, seed).
+[[nodiscard]] std::vector<i64> random_bank_pattern(i64 m, std::size_t length,
+                                                   std::uint64_t seed);
+
+/// Long-run effective bandwidth of `ports` independent processors (one
+/// port per CPU, so paths are never shared) issuing uniform random bank
+/// requests into `config`.  Measured over `window` periods after
+/// `warmup`; deterministic in `seed`.
+[[nodiscard]] double random_traffic_bandwidth(const sim::MemoryConfig& config, i64 ports,
+                                              i64 warmup, i64 window,
+                                              std::uint64_t seed = 0x9E3779B9ULL);
+
+/// Classical one-cycle acceptance model (nc = 1, conflicting requests
+/// dropped and resubmitted fresh): the expected number of distinct banks
+/// addressed by p uniform requests over m banks,
+///   E[grants/period] = m * (1 - (1 - 1/m)^p).
+/// An optimistic bound for the queued simulation above (requeued requests
+/// are *not* fresh), exact only as nc -> 1 and p/m -> 0.
+[[nodiscard]] double acceptance_model(i64 m, i64 p);
+
+/// Upper bound on any schedule: min(p, m/nc) data per clock period (ports
+/// on one side, bank service slots on the other).
+[[nodiscard]] double service_bound(i64 m, i64 nc, i64 p);
+
+}  // namespace vpmem::baseline

@@ -1,0 +1,31 @@
+// Small deterministic PRNG (SplitMix64).  Used to synthesize random
+// reference streams; seeded explicitly so every experiment is exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace vpmem::baseline {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) for bound >= 1 (modulo bias is < 2^-50
+  /// for the tiny bounds used here).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vpmem::baseline

@@ -1,0 +1,57 @@
+#include "vpmem/baseline/random_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "vpmem/baseline/rng.hpp"
+#include "vpmem/sim/run.hpp"
+
+namespace vpmem::baseline {
+
+std::vector<i64> random_bank_pattern(i64 m, std::size_t length, std::uint64_t seed) {
+  if (m < 1) throw std::invalid_argument{"random_bank_pattern: m must be >= 1"};
+  if (length == 0) throw std::invalid_argument{"random_bank_pattern: length must be >= 1"};
+  SplitMix64 rng{seed};
+  std::vector<i64> pattern;
+  pattern.reserve(length);
+  for (std::size_t k = 0; k < length; ++k) {
+    pattern.push_back(static_cast<i64>(rng.next_below(static_cast<std::uint64_t>(m))));
+  }
+  return pattern;
+}
+
+double random_traffic_bandwidth(const sim::MemoryConfig& config, i64 ports, i64 warmup,
+                                i64 window, std::uint64_t seed) {
+  config.validate();
+  if (ports < 1) throw std::invalid_argument{"random_traffic_bandwidth: ports must be >= 1"};
+  // Long co-prime-ish pattern lengths so the joint period vastly exceeds
+  // the measurement window (the streams never re-align within it).
+  constexpr std::size_t kBasePatternLength = 8191;
+  std::vector<sim::StreamConfig> streams;
+  streams.reserve(static_cast<std::size_t>(ports));
+  for (i64 p = 0; p < ports; ++p) {
+    sim::StreamConfig s;
+    s.cpu = p;  // one port per CPU: no shared access paths
+    s.bank_pattern = random_bank_pattern(
+        config.banks, kBasePatternLength + static_cast<std::size_t>(p),
+        seed + 0x51ED2701ULL * static_cast<std::uint64_t>(p + 1));
+    streams.push_back(std::move(s));
+  }
+  return sim::measure_bandwidth(config, streams, warmup, window);
+}
+
+double acceptance_model(i64 m, i64 p) {
+  if (m < 1 || p < 1) throw std::invalid_argument{"acceptance_model: m, p must be >= 1"};
+  const double md = static_cast<double>(m);
+  return md * (1.0 - std::pow(1.0 - 1.0 / md, static_cast<double>(p)));
+}
+
+double service_bound(i64 m, i64 nc, i64 p) {
+  if (m < 1 || nc < 1 || p < 1) {
+    throw std::invalid_argument{"service_bound: arguments must be >= 1"};
+  }
+  return std::min(static_cast<double>(p), static_cast<double>(m) / static_cast<double>(nc));
+}
+
+}  // namespace vpmem::baseline

@@ -1,0 +1,52 @@
+// The conclusion's programming guidance, packaged: given the memory
+// geometry and a set of Fortran-style array accesses, report each access's
+// bank distance, its self-bandwidth, pairwise classifications, and a
+// padding recommendation ("choose the dimension of arrays so that they
+// are relatively prime to the number of banks").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/analytic/classify.hpp"
+#include "vpmem/sim/config.hpp"
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::core {
+
+/// One planned access pattern: stepping through dimension `dim_index` of
+/// an array with extents `dims` using loop increment `inc`.
+struct PlannedAccess {
+  std::string name;          ///< label for the report (e.g. "A(:, j)")
+  std::vector<i64> dims;     ///< array extents, leftmost first
+  std::size_t dim_index = 0; ///< dimension being traversed
+  i64 inc = 1;               ///< loop increment
+};
+
+struct AccessAdvice {
+  std::string name;
+  i64 distance = 0;          ///< eq. 33, reduced mod m
+  i64 return_number = 0;
+  Rational self_bandwidth;   ///< Section III-A
+  bool self_conflicting = false;
+};
+
+struct PairAdvice {
+  std::string first;
+  std::string second;
+  analytic::PairPrediction prediction;
+};
+
+struct AdvisorReport {
+  std::vector<AccessAdvice> accesses;
+  std::vector<PairAdvice> pairs;              ///< all unordered pairs
+  std::vector<std::string> recommendations;   ///< human-readable guidance
+  [[nodiscard]] std::string str() const;
+};
+
+/// Analyze the planned accesses against memory geometry `config`.
+[[nodiscard]] AdvisorReport advise(const sim::MemoryConfig& config,
+                                   const std::vector<PlannedAccess>& accesses);
+
+}  // namespace vpmem::core

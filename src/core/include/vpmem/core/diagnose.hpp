@@ -1,0 +1,54 @@
+// Conflict-regime diagnosis of a steady cycle: which of the paper's
+// conflict mechanisms limits a workload?  In particular this detects the
+// *linked conflict* of Section III-B / Fig. 8 — a cyclic state that
+// alternates bank and section conflicts — mechanically from the exact
+// steady state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::core {
+
+enum class RunRegime {
+  conflict_free,      ///< no delays in the cyclic state
+  bank_limited,       ///< only bank conflicts (self-conflicts, barriers)
+  section_limited,    ///< only section (access-path) conflicts
+  linked_conflict,    ///< bank and section conflicts alternate (Fig. 8a)
+  cross_cpu_limited,  ///< simultaneous bank conflicts are involved
+};
+
+[[nodiscard]] std::string to_string(RunRegime regime);
+
+struct Diagnosis {
+  RunRegime regime = RunRegime::conflict_free;
+  Rational bandwidth;
+  sim::ConflictTotals conflicts_in_period;
+  i64 period = 0;
+  i64 transient_cycles = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Classify the cyclic state of `streams` (all infinite) on `config`.
+[[nodiscard]] Diagnosis diagnose(const sim::MemoryConfig& config,
+                                 const std::vector<sim::StreamConfig>& streams);
+
+/// Diagnose a distance pair for every relative start position (b1 = 0,
+/// b2 in [0, m)) — shows e.g. which offsets of the Fig. 8 workload fall
+/// into the linked conflict.
+struct RegimeSweep {
+  std::vector<Diagnosis> by_offset;
+
+  /// Offsets whose cyclic state has the given regime.
+  [[nodiscard]] std::vector<i64> offsets_with(RunRegime regime) const;
+};
+
+[[nodiscard]] RegimeSweep sweep_regimes(const sim::MemoryConfig& config, i64 d1, i64 d2,
+                                        bool same_cpu = false);
+
+}  // namespace vpmem::core

@@ -1,0 +1,38 @@
+// Beyond two streams: exact steady-state analysis of arbitrary groups of
+// concurrent streams.  The paper analyzes one and two streams and notes
+// (Section IV) that with six active ports "access conflicts are bound to
+// occur since 6*nc = 24 > 16" — this module quantifies that saturation.
+#pragma once
+
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::core {
+
+/// Exact steady-state summary of a stream group.
+struct GroupReport {
+  Rational bandwidth;              ///< total data per clock period
+  std::vector<Rational> per_port;
+  sim::ConflictTotals conflicts_in_period;
+  i64 period = 0;
+  i64 transient_cycles = 0;
+
+  /// Fraction of the service bound min(p, m/nc) actually achieved.
+  [[nodiscard]] double utilization(i64 m, i64 nc) const;
+};
+
+/// Analyze `streams` (all infinite) on `config` via exact cycle detection.
+[[nodiscard]] GroupReport analyze_group(const sim::MemoryConfig& config,
+                                        const std::vector<sim::StreamConfig>& streams);
+
+/// p equal-distance infinite streams with start banks staggered by
+/// `stagger`; one port per CPU when `same_cpu` is false (no shared
+/// access paths), all on CPU 0 otherwise.
+[[nodiscard]] std::vector<sim::StreamConfig> uniform_streams(i64 ports, i64 distance,
+                                                             i64 stagger, i64 m,
+                                                             bool same_cpu = false);
+
+}  // namespace vpmem::core

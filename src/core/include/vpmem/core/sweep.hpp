@@ -1,0 +1,58 @@
+// Thread-parallel parameter sweeps.  Simulations of distinct parameter
+// points are independent, so sweeps (all INC values of Fig. 10, all
+// (d1, d2) pairs of the classification grid) fan out across a thread pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vpmem::core {
+
+/// Number of workers to use: min(hint, hardware_concurrency), at least 1.
+[[nodiscard]] std::size_t default_workers(std::size_t hint = 0);
+
+/// Apply `fn` to every index in [0, count) on `workers` threads and return
+/// the results in index order.  `fn` must be callable concurrently; any
+/// exception it throws is rethrown on the caller's thread (first one wins).
+template <typename R>
+std::vector<R> parallel_index_map(std::size_t count, const std::function<R(std::size_t)>& fn,
+                                  std::size_t workers = 0) {
+  if (!fn) throw std::invalid_argument{"parallel_index_map: fn must be callable"};
+  workers = default_workers(workers);
+  std::vector<R> results(count);
+  if (count == 0) return results;
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (std::size_t i = w; i < count; i += workers) results[i] = fn(i);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+/// Convenience: map over a vector of inputs.
+template <typename R, typename T>
+std::vector<R> parallel_map(const std::vector<T>& inputs, const std::function<R(const T&)>& fn,
+                            std::size_t workers = 0) {
+  return parallel_index_map<R>(
+      inputs.size(), [&](std::size_t i) { return fn(inputs[i]); }, workers);
+}
+
+}  // namespace vpmem::core

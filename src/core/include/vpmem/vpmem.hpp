@@ -1,0 +1,42 @@
+// Umbrella header for the vpmem library — everything needed to reproduce
+// Oed & Lange (1985), "On the Effective Bandwidth of Interleaved Memories
+// in Vector Processor Systems".
+//
+// Layers (see DESIGN.md):
+//   vpmem::sim       cycle-level bank/section/port simulator
+//   vpmem::analytic  Theorems 1-9 and the distance isomorphism
+//   vpmem::trace     the paper's clock diagrams
+//   vpmem::xmp       Cray X-MP machine model (Section IV)
+//   vpmem::skew      skewed storage schemes (the conclusion's remedy)
+//   vpmem::baseline  random-reference traffic (the [1]-[5] baseline)
+//   vpmem::core      facade: reports, advisor, groups, parallel sweeps
+#pragma once
+
+#include "vpmem/analytic/classify.hpp"
+#include "vpmem/analytic/fortran.hpp"
+#include "vpmem/analytic/isomorphism.hpp"
+#include "vpmem/analytic/stream.hpp"
+#include "vpmem/analytic/theorems.hpp"
+#include "vpmem/baseline/random_traffic.hpp"
+#include "vpmem/baseline/rng.hpp"
+#include "vpmem/core/advisor.hpp"
+#include "vpmem/core/bandwidth.hpp"
+#include "vpmem/core/diagnose.hpp"
+#include "vpmem/core/group.hpp"
+#include "vpmem/core/layout.hpp"
+#include "vpmem/core/sweep.hpp"
+#include "vpmem/core/triad_experiment.hpp"
+#include "vpmem/skew/analysis.hpp"
+#include "vpmem/skew/scheme.hpp"
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/sim/memory_system.hpp"
+#include "vpmem/sim/run.hpp"
+#include "vpmem/sim/steady_state.hpp"
+#include "vpmem/trace/timeline.hpp"
+#include "vpmem/util/chart.hpp"
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+#include "vpmem/util/table.hpp"
+#include "vpmem/xmp/kernels.hpp"
+#include "vpmem/xmp/machine.hpp"

@@ -1,0 +1,86 @@
+#include "vpmem/core/advisor.hpp"
+
+#include <sstream>
+
+#include "vpmem/analytic/fortran.hpp"
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::core {
+
+AdvisorReport advise(const sim::MemoryConfig& config,
+                     const std::vector<PlannedAccess>& accesses) {
+  config.validate();
+  const i64 m = config.banks;
+  const i64 nc = config.bank_cycle;
+  AdvisorReport report;
+
+  for (const auto& a : accesses) {
+    AccessAdvice advice;
+    advice.name = a.name;
+    advice.distance = analytic::array_distance(a.dims, a.dim_index, a.inc, m);
+    advice.return_number = analytic::return_number(m, advice.distance);
+    advice.self_bandwidth = analytic::single_stream_bandwidth(m, advice.distance, nc);
+    advice.self_conflicting = !analytic::self_conflict_free(m, advice.distance, nc);
+    if (advice.self_conflicting) {
+      std::ostringstream rec;
+      rec << a.name << ": return number " << advice.return_number << " < nc = " << nc
+          << " — stream throttles itself to " << advice.self_bandwidth.str()
+          << " data/clock.";
+      if (!a.dims.empty() && a.dim_index > 0) {
+        const i64 padded = analytic::safe_leading_dimension(a.dims[0], m);
+        if (padded != a.dims[0]) {
+          rec << " Pad the leading dimension from " << a.dims[0] << " to " << padded
+              << " (relatively prime to m = " << m << ").";
+        }
+      }
+      report.recommendations.push_back(rec.str());
+    }
+    report.accesses.push_back(std::move(advice));
+  }
+
+  for (std::size_t i = 0; i < report.accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.accesses.size(); ++j) {
+      PairAdvice pair;
+      pair.first = report.accesses[i].name;
+      pair.second = report.accesses[j].name;
+      pair.prediction = analytic::classify_pair(m, nc, report.accesses[i].distance,
+                                                report.accesses[j].distance,
+                                                config.priority == sim::PriorityRule::fixed);
+      if (pair.prediction.cls == analytic::PairClass::unique_barrier) {
+        std::ostringstream rec;
+        rec << pair.first << " vs " << pair.second << ": unique barrier-situation, b_eff = "
+            << pair.prediction.bandwidth->str()
+            << " — one stream will be systematically delayed; consider equal or "
+               "gcd-sharing distances.";
+        report.recommendations.push_back(rec.str());
+      }
+      report.pairs.push_back(std::move(pair));
+    }
+  }
+  if (report.recommendations.empty()) {
+    report.recommendations.emplace_back("No self-conflicts or guaranteed barriers detected.");
+  }
+  return report;
+}
+
+std::string AdvisorReport::str() const {
+  std::ostringstream out;
+  out << "Accesses:\n";
+  for (const auto& a : accesses) {
+    out << "  " << a.name << ": distance " << a.distance << ", return number "
+        << a.return_number << ", self b_eff " << a.self_bandwidth.str()
+        << (a.self_conflicting ? "  [SELF-CONFLICTING]" : "") << '\n';
+  }
+  out << "Pairs:\n";
+  for (const auto& p : pairs) {
+    out << "  " << p.first << " vs " << p.second << ": "
+        << analytic::to_string(p.prediction.cls);
+    if (p.prediction.bandwidth) out << " (b_eff " << p.prediction.bandwidth->str() << ")";
+    out << '\n';
+  }
+  out << "Recommendations:\n";
+  for (const auto& r : recommendations) out << "  - " << r << '\n';
+  return out.str();
+}
+
+}  // namespace vpmem::core

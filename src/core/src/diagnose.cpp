@@ -1,0 +1,69 @@
+#include "vpmem/core/diagnose.hpp"
+
+#include <sstream>
+
+#include "vpmem/sim/steady_state.hpp"
+
+namespace vpmem::core {
+
+std::string to_string(RunRegime regime) {
+  switch (regime) {
+    case RunRegime::conflict_free: return "conflict-free";
+    case RunRegime::bank_limited: return "bank-limited";
+    case RunRegime::section_limited: return "section-limited";
+    case RunRegime::linked_conflict: return "linked-conflict";
+    case RunRegime::cross_cpu_limited: return "cross-cpu-limited";
+  }
+  return "?";
+}
+
+Diagnosis diagnose(const sim::MemoryConfig& config,
+                   const std::vector<sim::StreamConfig>& streams) {
+  const sim::SteadyState ss = sim::find_steady_state(config, streams);
+  Diagnosis d;
+  d.bandwidth = ss.bandwidth;
+  d.conflicts_in_period = ss.conflicts_in_period;
+  d.period = ss.period;
+  d.transient_cycles = ss.transient_cycles;
+  const auto& c = ss.conflicts_in_period;
+  if (c.total() == 0) {
+    d.regime = RunRegime::conflict_free;
+  } else if (c.simultaneous > 0) {
+    d.regime = RunRegime::cross_cpu_limited;
+  } else if (c.bank > 0 && c.section > 0) {
+    d.regime = RunRegime::linked_conflict;
+  } else if (c.bank > 0) {
+    d.regime = RunRegime::bank_limited;
+  } else {
+    d.regime = RunRegime::section_limited;
+  }
+  return d;
+}
+
+std::vector<i64> RegimeSweep::offsets_with(RunRegime regime) const {
+  std::vector<i64> out;
+  for (std::size_t b2 = 0; b2 < by_offset.size(); ++b2) {
+    if (by_offset[b2].regime == regime) out.push_back(static_cast<i64>(b2));
+  }
+  return out;
+}
+
+RegimeSweep sweep_regimes(const sim::MemoryConfig& config, i64 d1, i64 d2, bool same_cpu) {
+  RegimeSweep sweep;
+  sweep.by_offset.reserve(static_cast<std::size_t>(config.banks));
+  for (i64 b2 = 0; b2 < config.banks; ++b2) {
+    sweep.by_offset.push_back(diagnose(config, sim::two_streams(0, d1, b2, d2, same_cpu)));
+  }
+  return sweep;
+}
+
+std::string Diagnosis::summary() const {
+  std::ostringstream out;
+  out << to_string(regime) << ": b_eff " << bandwidth.str() << " over a period of " << period
+      << " (bank " << conflicts_in_period.bank << ", simultaneous "
+      << conflicts_in_period.simultaneous << ", section " << conflicts_in_period.section
+      << " conflicts per period)";
+  return out.str();
+}
+
+}  // namespace vpmem::core

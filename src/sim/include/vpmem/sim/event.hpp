@@ -1,0 +1,72 @@
+// Per-cycle events and per-port statistics emitted by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::sim {
+
+/// The three access-conflict types of Section II.
+enum class ConflictKind {
+  /// Access requested to an active (busy) bank; request postponed.
+  bank,
+  /// Two or more ports on *different* access paths request the same
+  /// inactive bank; priority decides, losers wait.
+  simultaneous,
+  /// Two or more ports of the same CPU request inactive banks within the
+  /// same section (same access path); priority decides, losers wait.
+  section,
+};
+
+[[nodiscard]] std::string to_string(ConflictKind kind);
+
+/// One observable simulator event.  `grant` events mark the clock period
+/// in which a request was accepted (the bank then stays active for nc
+/// periods); conflict events mark each clock period a port spent delayed,
+/// tagged with the cause in that period.
+struct Event {
+  enum class Type { grant, conflict };
+  Type type = Type::grant;
+  i64 cycle = 0;
+  std::size_t port = 0;
+  i64 bank = 0;             ///< requested bank
+  i64 element = 0;          ///< index k of the stream element involved
+  ConflictKind conflict = ConflictKind::bank;  ///< valid when type == conflict
+  std::size_t blocker = 0;  ///< port that won the resource (valid for
+                            ///< simultaneous/section conflicts)
+};
+
+/// Aggregate counters for one port.  A "conflict" is counted once per
+/// clock period of delay, classified by the cause during that period —
+/// this matches what the paper's Fortran simulator reports in Fig. 10(c-e)
+/// (counts grow linearly with delay time).
+struct PortStats {
+  i64 grants = 0;
+  i64 bank_conflicts = 0;
+  i64 simultaneous_conflicts = 0;
+  i64 section_conflicts = 0;
+  i64 first_grant_cycle = -1;
+  i64 last_grant_cycle = -1;
+  i64 longest_stall = 0;   ///< longest run of consecutive delayed periods
+  i64 current_stall = 0;   ///< internal: ongoing delay run
+
+  [[nodiscard]] i64 total_conflicts() const noexcept {
+    return bank_conflicts + simultaneous_conflicts + section_conflicts;
+  }
+};
+
+/// Totals across ports.
+struct ConflictTotals {
+  i64 bank = 0;
+  i64 simultaneous = 0;
+  i64 section = 0;
+
+  [[nodiscard]] i64 total() const noexcept { return bank + simultaneous + section; }
+};
+
+[[nodiscard]] ConflictTotals totals(const std::vector<PortStats>& ports);
+
+}  // namespace vpmem::sim

@@ -1,0 +1,114 @@
+// The cycle-level engine: banks, sections, paths, ports and the per-clock
+// arbitration implementing dynamic conflict resolution (Section II).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::sim {
+
+/// Cycle-accurate simulator of an m-way interleaved, sectioned memory
+/// accessed by constant-stride ports.
+///
+/// Per clock period, requesting ports are visited in priority order; a
+/// port is granted iff (a) no higher-priority port claimed its target bank
+/// this period, (b) the bank is inactive, and (c) its access path — the
+/// (CPU, section) pair — is unclaimed this period.  Otherwise the port is
+/// delayed one period (together with all its subsequent requests) and the
+/// delay is classified as a bank, simultaneous-bank or section conflict
+/// exactly as in Section II.
+///
+/// Ports may be added while the simulation runs (add_stream); the Cray
+/// X-MP driver uses this to issue chained vector instructions whose start
+/// times depend on earlier instructions' progress.
+class MemorySystem {
+ public:
+  /// `streams` may be empty; ports can be injected later via add_stream
+  /// (the X-MP drivers issue vector instructions as dependencies clear).
+  MemorySystem(MemoryConfig config, std::vector<StreamConfig> streams);
+
+  /// Append a port mid-run.  `start_cycle` must be >= now().  Under fixed
+  /// priority the new port ranks below all existing ones.  Returns its
+  /// port index.
+  std::size_t add_stream(const StreamConfig& stream);
+
+  /// Advance the clock by one period.
+  void step();
+
+  /// Run `cycles` periods (or until finished() for finite streams when
+  /// `stop_when_finished`).  Returns periods actually simulated.
+  i64 run(i64 cycles, bool stop_when_finished = true);
+
+  /// All finite-length streams have transferred all their elements.
+  [[nodiscard]] bool finished() const noexcept;
+
+  [[nodiscard]] i64 now() const noexcept { return now_; }
+  [[nodiscard]] const MemoryConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t port_count() const noexcept { return ports_.size(); }
+  [[nodiscard]] const StreamConfig& stream(std::size_t port) const;
+  [[nodiscard]] const PortStats& port_stats(std::size_t port) const;
+  [[nodiscard]] std::vector<PortStats> all_stats() const;
+
+  /// Elements granted so far on `port`.
+  [[nodiscard]] i64 elements_done(std::size_t port) const;
+
+  /// True once `port` has transferred all its elements.
+  [[nodiscard]] bool port_done(std::size_t port) const;
+
+  /// Bank the port will request next (nullopt once the stream finished).
+  [[nodiscard]] std::optional<i64> next_bank(std::size_t port) const;
+
+  /// Remaining active periods of `bank` (0 == inactive).
+  [[nodiscard]] i64 bank_busy(i64 bank) const;
+
+  /// Grants served by `bank` so far.
+  [[nodiscard]] i64 bank_grants(i64 bank) const;
+
+  /// Fraction of elapsed bank-periods spent active, over all banks
+  /// (grants * nc, clipped at now()): 1.0 means every bank was busy every
+  /// period.  0 before the first step.
+  [[nodiscard]] double bank_utilization() const;
+
+  /// The bank with the most grants so far (ties: lowest address).
+  [[nodiscard]] i64 hottest_bank() const;
+
+  /// Observer invoked for every grant/conflict event; pass nullptr to
+  /// remove.  Used by vpmem::trace to build the paper's clock diagrams.
+  using EventHook = std::function<void(const Event&)>;
+  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+  /// Opaque encoding of the machine state that determines all future
+  /// behaviour of *infinite* streams (per-port phase, bank busy times,
+  /// rotation of the cyclic priority).  Equal keys => identical futures;
+  /// used for exact cycle detection in steady_state().
+  [[nodiscard]] std::vector<i64> state_key() const;
+
+ private:
+  struct PortState {
+    StreamConfig cfg;
+    i64 issued = 0;  ///< elements granted so far
+    PortStats stats;
+    [[nodiscard]] bool done() const noexcept { return issued >= cfg.length; }
+  };
+
+  void emit(const Event& e) const;
+
+  MemoryConfig config_;
+  std::vector<PortState> ports_;
+  std::vector<i64> bank_free_at_;  ///< absolute cycle the bank becomes inactive
+  std::vector<i64> bank_grants_;   ///< grants served per bank
+  i64 now_ = 0;
+  i64 max_cpu_ = 0;
+  std::size_t rr_ = 0;  ///< highest-priority port under PriorityRule::cyclic
+  EventHook hook_;
+  // Per-step scratch (members to avoid per-cycle allocation).
+  std::vector<std::size_t> bank_claim_;
+  std::vector<std::size_t> path_claim_;
+};
+
+}  // namespace vpmem::sim

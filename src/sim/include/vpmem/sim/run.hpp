@@ -1,0 +1,45 @@
+// Finite-run drivers: execute streams to completion (vector instructions
+// of length n) or measure long-run average bandwidth over a window.
+#pragma once
+
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::sim {
+
+/// Outcome of running a finite workload to completion.
+struct RunResult {
+  i64 cycles = 0;  ///< clock periods until the last element was granted
+  std::vector<PortStats> ports;
+  ConflictTotals conflicts;
+
+  [[nodiscard]] i64 total_grants() const noexcept {
+    i64 g = 0;
+    for (const auto& p : ports) g += p.grants;
+    return g;
+  }
+  /// Average data per clock period over the whole run (includes startup).
+  [[nodiscard]] double bandwidth() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total_grants()) / static_cast<double>(cycles);
+  }
+};
+
+/// Simulate until every finite stream has transferred all its elements.
+/// Throws std::invalid_argument if any stream is infinite, and
+/// std::runtime_error if completion takes more than `max_cycles` periods.
+[[nodiscard]] RunResult run_to_completion(const MemoryConfig& config,
+                                          const std::vector<StreamConfig>& streams,
+                                          i64 max_cycles = 100'000'000);
+
+/// Long-run average bandwidth of infinite streams measured over
+/// [warmup, warmup + window).  A floating-point cross-check for
+/// find_steady_state(); agrees with it as window -> infinity.
+[[nodiscard]] double measure_bandwidth(const MemoryConfig& config,
+                                       const std::vector<StreamConfig>& streams, i64 warmup,
+                                       i64 window);
+
+}  // namespace vpmem::sim

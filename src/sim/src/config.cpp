@@ -1,0 +1,68 @@
+#include "vpmem/sim/config.hpp"
+
+#include <stdexcept>
+
+namespace vpmem::sim {
+
+std::string to_string(SectionMapping mapping) {
+  switch (mapping) {
+    case SectionMapping::cyclic: return "cyclic";
+    case SectionMapping::consecutive: return "consecutive";
+  }
+  return "?";
+}
+
+std::string to_string(PriorityRule rule) {
+  switch (rule) {
+    case PriorityRule::fixed: return "fixed";
+    case PriorityRule::cyclic: return "cyclic";
+  }
+  return "?";
+}
+
+void MemoryConfig::validate() const {
+  if (banks < 1) throw std::invalid_argument{"MemoryConfig: banks must be >= 1"};
+  if (sections < 1 || sections > banks) {
+    throw std::invalid_argument{"MemoryConfig: sections must be in [1, banks]"};
+  }
+  if (banks % sections != 0) {
+    throw std::invalid_argument{"MemoryConfig: sections must divide banks (s | m)"};
+  }
+  if (bank_cycle < 1) throw std::invalid_argument{"MemoryConfig: bank_cycle must be >= 1"};
+}
+
+i64 MemoryConfig::section_of(i64 bank) const {
+  if (bank < 0 || bank >= banks) throw std::out_of_range{"section_of: bank out of range"};
+  switch (mapping) {
+    case SectionMapping::cyclic: return bank % sections;
+    case SectionMapping::consecutive: return bank / (banks / sections);
+  }
+  throw std::logic_error{"section_of: unknown mapping"};
+}
+
+void StreamConfig::validate(const MemoryConfig& cfg) const {
+  if (start_bank < 0 || start_bank >= cfg.banks) {
+    throw std::invalid_argument{"StreamConfig: start_bank out of range"};
+  }
+  if (cpu < 0) throw std::invalid_argument{"StreamConfig: cpu must be >= 0"};
+  if (length < 0) throw std::invalid_argument{"StreamConfig: length must be >= 0"};
+  if (start_cycle < 0) throw std::invalid_argument{"StreamConfig: start_cycle must be >= 0"};
+  for (i64 bank : bank_pattern) {
+    if (bank < 0 || bank >= cfg.banks) {
+      throw std::invalid_argument{"StreamConfig: bank_pattern entry out of range"};
+    }
+  }
+}
+
+std::vector<StreamConfig> two_streams(i64 b1, i64 d1, i64 b2, i64 d2, bool same_cpu) {
+  StreamConfig s1;
+  s1.start_bank = b1;
+  s1.distance = d1;
+  StreamConfig s2;
+  s2.start_bank = b2;
+  s2.distance = d2;
+  s2.cpu = same_cpu ? 0 : 1;
+  return {s1, s2};
+}
+
+}  // namespace vpmem::sim

@@ -1,0 +1,24 @@
+#include "vpmem/sim/event.hpp"
+
+namespace vpmem::sim {
+
+std::string to_string(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::bank: return "bank";
+    case ConflictKind::simultaneous: return "simultaneous";
+    case ConflictKind::section: return "section";
+  }
+  return "?";
+}
+
+ConflictTotals totals(const std::vector<PortStats>& ports) {
+  ConflictTotals t;
+  for (const auto& p : ports) {
+    t.bank += p.bank_conflicts;
+    t.simultaneous += p.simultaneous_conflicts;
+    t.section += p.section_conflicts;
+  }
+  return t;
+}
+
+}  // namespace vpmem::sim

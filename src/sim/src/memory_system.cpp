@@ -1,0 +1,216 @@
+#include "vpmem/sim/memory_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vpmem::sim {
+
+namespace {
+constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+}
+
+MemorySystem::MemorySystem(MemoryConfig config, std::vector<StreamConfig> streams)
+    : config_{config},
+      bank_free_at_(static_cast<std::size_t>(config.banks), 0),
+      bank_grants_(static_cast<std::size_t>(config.banks), 0),
+      bank_claim_(static_cast<std::size_t>(config.banks), kFree) {
+  config_.validate();
+  ports_.reserve(streams.size());
+  for (const auto& s : streams) add_stream(s);
+}
+
+std::size_t MemorySystem::add_stream(const StreamConfig& stream) {
+  stream.validate(config_);
+  if (stream.start_cycle < now_) {
+    throw std::invalid_argument{"add_stream: start_cycle must not lie in the past"};
+  }
+  max_cpu_ = std::max(max_cpu_, stream.cpu);
+  path_claim_.assign(static_cast<std::size_t>((max_cpu_ + 1) * config_.sections), kFree);
+  PortState port;
+  port.cfg = stream;
+  ports_.push_back(std::move(port));
+  return ports_.size() - 1;
+}
+
+const StreamConfig& MemorySystem::stream(std::size_t port) const { return ports_.at(port).cfg; }
+
+const PortStats& MemorySystem::port_stats(std::size_t port) const {
+  return ports_.at(port).stats;
+}
+
+std::vector<PortStats> MemorySystem::all_stats() const {
+  std::vector<PortStats> out;
+  out.reserve(ports_.size());
+  for (const auto& p : ports_) out.push_back(p.stats);
+  return out;
+}
+
+i64 MemorySystem::elements_done(std::size_t port) const { return ports_.at(port).issued; }
+
+bool MemorySystem::port_done(std::size_t port) const { return ports_.at(port).done(); }
+
+std::optional<i64> MemorySystem::next_bank(std::size_t port) const {
+  const PortState& p = ports_.at(port);
+  if (p.done()) return std::nullopt;
+  return p.cfg.bank_of(p.issued, config_.banks);
+}
+
+i64 MemorySystem::bank_busy(i64 bank) const {
+  if (bank < 0 || bank >= config_.banks) throw std::out_of_range{"bank_busy: bank out of range"};
+  return std::max<i64>(0, bank_free_at_[static_cast<std::size_t>(bank)] - now_);
+}
+
+i64 MemorySystem::bank_grants(i64 bank) const {
+  if (bank < 0 || bank >= config_.banks) {
+    throw std::out_of_range{"bank_grants: bank out of range"};
+  }
+  return bank_grants_[static_cast<std::size_t>(bank)];
+}
+
+double MemorySystem::bank_utilization() const {
+  if (now_ == 0) return 0.0;
+  i64 busy = 0;
+  for (std::size_t j = 0; j < bank_grants_.size(); ++j) {
+    // Grants keep a bank active nc periods each; clip the still-running
+    // tail of the latest service at now().
+    busy += bank_grants_[j] * config_.bank_cycle - std::max<i64>(0, bank_free_at_[j] - now_);
+  }
+  return static_cast<double>(busy) / static_cast<double>(config_.banks * now_);
+}
+
+i64 MemorySystem::hottest_bank() const {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < bank_grants_.size(); ++j) {
+    if (bank_grants_[j] > bank_grants_[best]) best = j;
+  }
+  return static_cast<i64>(best);
+}
+
+bool MemorySystem::finished() const noexcept {
+  return std::all_of(ports_.begin(), ports_.end(), [](const PortState& p) { return p.done(); });
+}
+
+void MemorySystem::emit(const Event& e) const {
+  if (hook_) hook_(e);
+}
+
+void MemorySystem::step() {
+  if (ports_.empty()) {  // ports may be injected later via add_stream
+    ++now_;
+    return;
+  }
+  const i64 m = config_.banks;
+  std::fill(bank_claim_.begin(), bank_claim_.end(), kFree);
+  std::fill(path_claim_.begin(), path_claim_.end(), kFree);
+
+  const std::size_t p = ports_.size();
+  const std::size_t first = (config_.priority == PriorityRule::cyclic) ? rr_ % p : 0;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t idx = (first + i) % p;
+    PortState& port = ports_[idx];
+    if (port.done() || now_ < port.cfg.start_cycle) continue;
+
+    const i64 bank = port.cfg.bank_of(port.issued, m);
+    const auto bank_u = static_cast<std::size_t>(bank);
+
+    Event ev{.type = Event::Type::conflict,
+             .cycle = now_,
+             .port = idx,
+             .bank = bank,
+             .element = port.issued,
+             .conflict = ConflictKind::bank,
+             .blocker = idx};
+
+    // (1) Claimed this very period by a higher-priority port: a
+    //     simultaneous bank conflict if the winner sits on another CPU
+    //     (different access path), a section conflict otherwise.
+    if (bank_claim_[bank_u] != kFree) {
+      const std::size_t winner = bank_claim_[bank_u];
+      ev.blocker = winner;
+      ev.conflict = (ports_[winner].cfg.cpu == port.cfg.cpu) ? ConflictKind::section
+                                                             : ConflictKind::simultaneous;
+      if (ev.conflict == ConflictKind::section) {
+        ++port.stats.section_conflicts;
+      } else {
+        ++port.stats.simultaneous_conflicts;
+      }
+      port.stats.longest_stall = std::max(port.stats.longest_stall, ++port.stats.current_stall);
+      emit(ev);
+      continue;
+    }
+
+    // (2) Bank still active from an earlier period: plain bank conflict.
+    if (bank_free_at_[bank_u] > now_) {
+      ev.conflict = ConflictKind::bank;
+      ++port.stats.bank_conflicts;
+      port.stats.longest_stall = std::max(port.stats.longest_stall, ++port.stats.current_stall);
+      emit(ev);
+      continue;
+    }
+
+    // (3) Access path (CPU, section) already used this period.
+    const auto path = static_cast<std::size_t>(port.cfg.cpu * config_.sections +
+                                               config_.section_of(bank));
+    if (path_claim_[path] != kFree) {
+      ev.blocker = path_claim_[path];
+      ev.conflict = ConflictKind::section;
+      ++port.stats.section_conflicts;
+      port.stats.longest_stall = std::max(port.stats.longest_stall, ++port.stats.current_stall);
+      emit(ev);
+      continue;
+    }
+
+    // Grant.
+    bank_claim_[bank_u] = idx;
+    path_claim_[path] = idx;
+    bank_free_at_[bank_u] = now_ + config_.bank_cycle;
+    ++bank_grants_[bank_u];
+    ++port.stats.grants;
+    port.stats.current_stall = 0;
+    if (port.stats.first_grant_cycle < 0) port.stats.first_grant_cycle = now_;
+    port.stats.last_grant_cycle = now_;
+    ev.type = Event::Type::grant;
+    ev.blocker = idx;
+    emit(ev);
+    ++port.issued;
+  }
+
+  ++now_;
+  if (config_.priority == PriorityRule::cyclic && !ports_.empty()) {
+    rr_ = (rr_ + 1) % ports_.size();
+  }
+}
+
+i64 MemorySystem::run(i64 cycles, bool stop_when_finished) {
+  i64 done = 0;
+  for (; done < cycles; ++done) {
+    if (stop_when_finished && finished()) break;
+    step();
+  }
+  return done;
+}
+
+std::vector<i64> MemorySystem::state_key() const {
+  std::vector<i64> key;
+  key.reserve(ports_.size() * 2 + bank_free_at_.size() + 1);
+  for (const auto& p : ports_) {
+    if (p.done()) {
+      key.push_back(-2);  // finished
+      key.push_back(0);
+    } else if (p.cfg.has_pattern()) {
+      // Pattern phase fully determines the future; offset past the bank
+      // address domain so affine and pattern keys cannot collide.
+      key.push_back(config_.banks + p.issued % static_cast<i64>(p.cfg.bank_pattern.size()));
+      key.push_back(std::max<i64>(0, p.cfg.start_cycle - now_));
+    } else {
+      key.push_back(p.cfg.bank_of(p.issued, config_.banks));
+      key.push_back(std::max<i64>(0, p.cfg.start_cycle - now_));  // not yet started
+    }
+  }
+  for (i64 free_at : bank_free_at_) key.push_back(std::max<i64>(0, free_at - now_));
+  key.push_back(ports_.empty() ? 0 : static_cast<i64>(rr_ % ports_.size()));
+  return key;
+}
+
+}  // namespace vpmem::sim

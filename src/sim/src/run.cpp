@@ -1,0 +1,45 @@
+#include "vpmem/sim/run.hpp"
+
+#include <stdexcept>
+
+#include "vpmem/sim/memory_system.hpp"
+
+namespace vpmem::sim {
+
+RunResult run_to_completion(const MemoryConfig& config, const std::vector<StreamConfig>& streams,
+                            i64 max_cycles) {
+  for (const auto& s : streams) {
+    if (s.length == kInfiniteLength) {
+      throw std::invalid_argument{"run_to_completion: all streams must be finite"};
+    }
+  }
+  MemorySystem mem{config, streams};
+  mem.run(max_cycles, /*stop_when_finished=*/true);
+  if (!mem.finished()) {
+    throw std::runtime_error{"run_to_completion: workload did not finish within max_cycles"};
+  }
+  RunResult out;
+  out.ports = mem.all_stats();
+  out.conflicts = totals(out.ports);
+  for (const auto& p : out.ports) {
+    out.cycles = std::max(out.cycles, p.last_grant_cycle + 1);
+  }
+  return out;
+}
+
+double measure_bandwidth(const MemoryConfig& config, const std::vector<StreamConfig>& streams,
+                         i64 warmup, i64 window) {
+  if (warmup < 0 || window <= 0) {
+    throw std::invalid_argument{"measure_bandwidth: warmup >= 0 and window > 0 required"};
+  }
+  MemorySystem mem{config, streams};
+  mem.run(warmup, /*stop_when_finished=*/false);
+  i64 before = 0;
+  for (std::size_t i = 0; i < mem.port_count(); ++i) before += mem.port_stats(i).grants;
+  mem.run(window, /*stop_when_finished=*/false);
+  i64 after = 0;
+  for (std::size_t i = 0; i < mem.port_count(); ++i) after += mem.port_stats(i).grants;
+  return static_cast<double>(after - before) / static_cast<double>(window);
+}
+
+}  // namespace vpmem::sim

@@ -1,0 +1,45 @@
+// Bandwidth analysis of matrix access patterns under a storage scheme:
+// each pattern reduces to a stride, so Section III-A and the pair
+// theorems apply directly; the simulator cross-checks via explicit bank
+// sequences.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpmem/skew/scheme.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::skew {
+
+/// All four patterns, in a fixed order for reports.
+[[nodiscard]] const std::vector<Pattern>& all_patterns();
+
+/// Single-stream effective bandwidth of `pattern` under `scheme`
+/// (Section III-A applied to the pattern's equivalent stride).
+[[nodiscard]] Rational pattern_bandwidth(const StorageScheme& scheme,
+                                         const MatrixLayout& layout, Pattern pattern, i64 m,
+                                         i64 nc);
+
+/// One row of a scheme report.
+struct PatternReport {
+  Pattern pattern = Pattern::column;
+  i64 distance = 0;
+  i64 return_number = 0;
+  Rational bandwidth;
+  bool conflict_free = false;  ///< return_number >= nc
+};
+
+/// Analyze all four patterns under a scheme.
+[[nodiscard]] std::vector<PatternReport> analyze_scheme(const StorageScheme& scheme,
+                                                        const MatrixLayout& layout, i64 m,
+                                                        i64 nc);
+
+/// Smallest skew delta in [2, m) making *all four* patterns run at full
+/// single-stream bandwidth (column 1, row delta, diagonals delta +- 1 all
+/// with return number >= nc).  nullopt when no such delta exists (e.g.
+/// power-of-two m with nc > m/2: delta-1 and delta+1 cannot both be odd).
+[[nodiscard]] std::optional<i64> find_good_skew(i64 m, i64 nc);
+
+}  // namespace vpmem::skew

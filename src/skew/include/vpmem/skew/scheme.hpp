@@ -1,0 +1,74 @@
+// Storage schemes for two-dimensional arrays.
+//
+// The paper's conclusion recommends two escapes from bad strides and
+// barrier-situations: dimensions relatively prime to the bank count, and
+// "the application of skewing schemes (e.g. [1], [4], [11], [12])" —
+// Budnik & Kuck's skewed storage, where column j of a matrix is rotated
+// by delta*j banks so that rows, columns and diagonals can all be
+// accessed conflict-free.  This module maps matrix access patterns to
+// bank sequences under plain interleaving and under a (1, delta)-skew,
+// reducing each pattern to an equivalent stride so the paper's
+// single-stream and pair theorems apply unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::skew {
+
+/// A column-major (Fortran) matrix: element (i, j) lives at linear
+/// address i + j*lda, 0-based, i < rows <= lda, j < cols.
+struct MatrixLayout {
+  i64 rows = 0;
+  i64 cols = 0;
+  i64 lda = 0;  ///< leading dimension (>= rows)
+
+  void validate() const;
+};
+
+/// How elements are assigned to banks.
+enum class SchemeKind {
+  /// Plain m-way interleaving of linear addresses: bank = (i + j*lda) mod m.
+  interleaved,
+  /// (1, delta)-skewed storage: bank = (i + j*delta) mod m — column j is
+  /// rotated delta*j banks relative to column 0.
+  skewed,
+};
+
+struct StorageScheme {
+  SchemeKind kind = SchemeKind::interleaved;
+  i64 skew = 1;  ///< delta, used when kind == skewed
+
+  /// Bank of element (i, j) under m banks.
+  [[nodiscard]] i64 bank_of(const MatrixLayout& layout, i64 i, i64 j, i64 m) const;
+};
+
+[[nodiscard]] std::string to_string(SchemeKind kind);
+
+/// The vector access patterns of interest (Lawrie's "d-ordered vectors"):
+/// a column, a row, a forward diagonal (i+k, j+k) and a backward diagonal
+/// (i+k, j-k).
+enum class Pattern { column, row, forward_diagonal, backward_diagonal };
+
+[[nodiscard]] std::string to_string(Pattern pattern);
+
+/// Number of elements the pattern visits in this layout.
+[[nodiscard]] i64 pattern_length(const MatrixLayout& layout, Pattern pattern);
+
+/// The explicit bank sequence of `pattern` (starting at element (0, 0),
+/// (0, j0) or (i0, 0) as appropriate — index 0 of the pattern) under the
+/// scheme.  Suitable as sim::StreamConfig::bank_pattern.
+[[nodiscard]] std::vector<i64> bank_sequence(const StorageScheme& scheme,
+                                             const MatrixLayout& layout, Pattern pattern,
+                                             i64 m);
+
+/// Every pattern above is an affine bank walk: consecutive elements are a
+/// constant bank distance apart.  Returns that distance (mod m):
+///   interleaved: column 1, row lda, diagonals lda +- 1;
+///   skewed:      column 1, row delta, diagonals delta +- 1.
+[[nodiscard]] i64 pattern_distance(const StorageScheme& scheme, const MatrixLayout& layout,
+                                   Pattern pattern, i64 m);
+
+}  // namespace vpmem::skew

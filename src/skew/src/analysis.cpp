@@ -1,0 +1,48 @@
+#include "vpmem/skew/analysis.hpp"
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::skew {
+
+const std::vector<Pattern>& all_patterns() {
+  static const std::vector<Pattern> patterns{Pattern::column, Pattern::row,
+                                             Pattern::forward_diagonal,
+                                             Pattern::backward_diagonal};
+  return patterns;
+}
+
+Rational pattern_bandwidth(const StorageScheme& scheme, const MatrixLayout& layout,
+                           Pattern pattern, i64 m, i64 nc) {
+  return analytic::single_stream_bandwidth(m, pattern_distance(scheme, layout, pattern, m),
+                                           nc);
+}
+
+std::vector<PatternReport> analyze_scheme(const StorageScheme& scheme,
+                                          const MatrixLayout& layout, i64 m, i64 nc) {
+  std::vector<PatternReport> out;
+  out.reserve(all_patterns().size());
+  for (Pattern pattern : all_patterns()) {
+    PatternReport r;
+    r.pattern = pattern;
+    r.distance = pattern_distance(scheme, layout, pattern, m);
+    r.return_number = analytic::return_number(m, r.distance);
+    r.bandwidth = analytic::single_stream_bandwidth(m, r.distance, nc);
+    r.conflict_free = analytic::self_conflict_free(m, r.distance, nc);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<i64> find_good_skew(i64 m, i64 nc) {
+  if (m < 1 || nc < 1) throw std::invalid_argument{"find_good_skew: m, nc must be >= 1"};
+  for (i64 delta = 2; delta < m; ++delta) {
+    const bool ok = analytic::self_conflict_free(m, 1, nc) &&
+                    analytic::self_conflict_free(m, delta, nc) &&
+                    analytic::self_conflict_free(m, delta + 1, nc) &&
+                    analytic::self_conflict_free(m, delta - 1, nc);
+    if (ok) return delta;
+  }
+  return std::nullopt;
+}
+
+}  // namespace vpmem::skew

@@ -1,0 +1,94 @@
+#include "vpmem/skew/scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vpmem::skew {
+
+void MatrixLayout::validate() const {
+  if (rows < 1 || cols < 1) throw std::invalid_argument{"MatrixLayout: rows, cols must be >= 1"};
+  if (lda < rows) throw std::invalid_argument{"MatrixLayout: lda must be >= rows"};
+}
+
+i64 StorageScheme::bank_of(const MatrixLayout& layout, i64 i, i64 j, i64 m) const {
+  layout.validate();
+  if (m < 1) throw std::invalid_argument{"bank_of: m must be >= 1"};
+  if (i < 0 || i >= layout.rows || j < 0 || j >= layout.cols) {
+    throw std::out_of_range{"bank_of: element index out of range"};
+  }
+  switch (kind) {
+    case SchemeKind::interleaved: return mod_norm(i + j * layout.lda, m);
+    case SchemeKind::skewed: return mod_norm(i + j * skew, m);
+  }
+  throw std::logic_error{"bank_of: unknown scheme"};
+}
+
+std::string to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::interleaved: return "interleaved";
+    case SchemeKind::skewed: return "skewed";
+  }
+  return "?";
+}
+
+std::string to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::column: return "column";
+    case Pattern::row: return "row";
+    case Pattern::forward_diagonal: return "forward-diagonal";
+    case Pattern::backward_diagonal: return "backward-diagonal";
+  }
+  return "?";
+}
+
+i64 pattern_length(const MatrixLayout& layout, Pattern pattern) {
+  layout.validate();
+  switch (pattern) {
+    case Pattern::column: return layout.rows;
+    case Pattern::row: return layout.cols;
+    case Pattern::forward_diagonal:
+    case Pattern::backward_diagonal: return std::min(layout.rows, layout.cols);
+  }
+  throw std::logic_error{"pattern_length: unknown pattern"};
+}
+
+std::vector<i64> bank_sequence(const StorageScheme& scheme, const MatrixLayout& layout,
+                               Pattern pattern, i64 m) {
+  const i64 n = pattern_length(layout, pattern);
+  std::vector<i64> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (i64 k = 0; k < n; ++k) {
+    i64 i = 0;
+    i64 j = 0;
+    switch (pattern) {
+      case Pattern::column: i = k; break;
+      case Pattern::row: j = k; break;
+      case Pattern::forward_diagonal:
+        i = k;
+        j = k;
+        break;
+      case Pattern::backward_diagonal:
+        i = k;
+        j = layout.cols - 1 - k;
+        break;
+    }
+    seq.push_back(scheme.bank_of(layout, i, j, m));
+  }
+  return seq;
+}
+
+i64 pattern_distance(const StorageScheme& scheme, const MatrixLayout& layout, Pattern pattern,
+                     i64 m) {
+  layout.validate();
+  if (m < 1) throw std::invalid_argument{"pattern_distance: m must be >= 1"};
+  const i64 col_step = (scheme.kind == SchemeKind::skewed) ? scheme.skew : layout.lda;
+  switch (pattern) {
+    case Pattern::column: return mod_norm(1, m);
+    case Pattern::row: return mod_norm(col_step, m);
+    case Pattern::forward_diagonal: return mod_norm(1 + col_step, m);
+    case Pattern::backward_diagonal: return mod_norm(1 - col_step, m);
+  }
+  throw std::logic_error{"pattern_distance: unknown pattern"};
+}
+
+}  // namespace vpmem::skew

@@ -1,0 +1,37 @@
+// Horizontal ASCII bar charts for the bench harnesses: the paper reports
+// Fig. 10 as curves, so the reproduction prints the same series as bars
+// next to the raw tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpmem {
+
+/// One labelled series rendered as horizontal bars, scaled to `width`
+/// characters at the maximum value.
+class BarChart {
+ public:
+  explicit BarChart(std::string title = {}, std::size_t width = 50);
+
+  void add(std::string label, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Render all bars; values are printed after each bar.  Bars of the
+  /// maximum value span the full width; a zero/negative maximum renders
+  /// empty bars.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::string label;
+    double value;
+  };
+  std::string title_;
+  std::size_t width_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace vpmem

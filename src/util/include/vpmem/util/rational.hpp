@@ -1,0 +1,85 @@
+// Exact rational arithmetic.  Effective bandwidths in the paper are exact
+// rationals (e.g. b_eff = 1 + d1/d2 for a unique barrier, r1/nc for a
+// self-conflicting single stream, 3/2 for the linked conflict of Fig. 8a),
+// so the simulator reports them exactly rather than as floating point.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem {
+
+/// Always-normalized rational number: gcd(num, den) == 1, den > 0.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+  constexpr Rational(i64 value) noexcept : num_{value} {}  // NOLINT(google-explicit-constructor)
+  constexpr Rational(i64 num, i64 den) : num_{num}, den_{den} { normalize(); }
+
+  [[nodiscard]] constexpr i64 num() const noexcept { return num_; }
+  [[nodiscard]] constexpr i64 den() const noexcept { return den_; }
+
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr Rational operator+(Rational a, Rational b) {
+    return Rational{a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend constexpr Rational operator-(Rational a, Rational b) {
+    return Rational{a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_};
+  }
+  friend constexpr Rational operator*(Rational a, Rational b) {
+    return Rational{a.num_ * b.num_, a.den_ * b.den_};
+  }
+  friend constexpr Rational operator/(Rational a, Rational b) {
+    if (b.num_ == 0) throw std::domain_error{"Rational: division by zero"};
+    return Rational{a.num_ * b.den_, a.den_ * b.num_};
+  }
+  constexpr Rational operator-() const noexcept {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+  constexpr Rational& operator+=(Rational o) { return *this = *this + o; }
+  constexpr Rational& operator-=(Rational o) { return *this = *this - o; }
+  constexpr Rational& operator*=(Rational o) { return *this = *this * o; }
+  constexpr Rational& operator/=(Rational o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(Rational a, Rational b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr std::strong_ordering operator<=>(Rational a, Rational b) noexcept {
+    return (a.num_ * b.den_) <=> (b.num_ * a.den_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Rational r);
+
+ private:
+  constexpr void normalize() {
+    if (den_ == 0) throw std::domain_error{"Rational: zero denominator"};
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const i64 g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  i64 num_{0};
+  i64 den_{1};
+};
+
+}  // namespace vpmem

@@ -1,0 +1,46 @@
+// Minimal tabular output used by the benchmark harnesses to print the
+// rows/series of each paper figure, both human-aligned and as CSV.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpmem {
+
+/// Column-aligned table with an optional title.  Cells are strings; use
+/// cell() helpers for numeric types.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, std::string title = {});
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Space-padded human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers so call sites read uniformly.
+[[nodiscard]] std::string cell(std::string_view s);
+[[nodiscard]] std::string cell(long long v);
+[[nodiscard]] std::string cell(unsigned long long v);
+[[nodiscard]] std::string cell(int v);
+[[nodiscard]] std::string cell(double v, int precision = 4);
+
+}  // namespace vpmem

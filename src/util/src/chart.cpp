@@ -1,0 +1,37 @@
+#include "vpmem/util/chart.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace vpmem {
+
+BarChart::BarChart(std::string title, std::size_t width)
+    : title_{std::move(title)}, width_{width} {
+  if (width_ < 1) throw std::invalid_argument{"BarChart: width must be >= 1"};
+}
+
+void BarChart::add(std::string label, double value) {
+  if (value < 0.0) throw std::invalid_argument{"BarChart: values must be >= 0"};
+  rows_.push_back(Row{std::move(label), value});
+}
+
+void BarChart::print(std::ostream& os) const {
+  if (!title_.empty()) os << title_ << '\n';
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& r : rows_) {
+    max_value = std::max(max_value, r.value);
+    label_width = std::max(label_width, r.label.size());
+  }
+  for (const auto& r : rows_) {
+    const auto bar = static_cast<std::size_t>(
+        max_value > 0.0 ? (r.value / max_value) * static_cast<double>(width_) + 0.5 : 0.0);
+    os << std::setw(static_cast<int>(label_width)) << std::right << r.label << " |"
+       << std::string(bar, '#') << std::string(width_ - std::min(bar, width_), ' ') << "| "
+       << r.value << '\n';
+  }
+}
+
+}  // namespace vpmem

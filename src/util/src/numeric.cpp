@@ -1,0 +1,21 @@
+#include "vpmem/util/numeric.hpp"
+
+#include <algorithm>
+
+namespace vpmem {
+
+std::vector<i64> divisors(i64 n) {
+  if (n <= 0) throw std::invalid_argument{"divisors: argument must be positive"};
+  std::vector<i64> low;
+  std::vector<i64> high;
+  for (i64 d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      low.push_back(d);
+      if (d != n / d) high.push_back(n / d);
+    }
+  }
+  low.insert(low.end(), high.rbegin(), high.rend());
+  return low;
+}
+
+}  // namespace vpmem

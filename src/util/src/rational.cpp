@@ -1,0 +1,14 @@
+#include "vpmem/util/rational.hpp"
+
+#include <ostream>
+
+namespace vpmem {
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, Rational r) { return os << r.str(); }
+
+}  // namespace vpmem

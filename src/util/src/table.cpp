@@ -1,0 +1,79 @@
+#include "vpmem/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpmem {
+
+Table::Table(std::vector<std::string> headers, std::string title)
+    : title_{std::move(title)}, headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument{"Table: need at least one column"};
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"Table: row width does not match header count"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  if (!title_.empty()) os << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << r[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string cell(std::string_view s) { return std::string{s}; }
+std::string cell(long long v) { return std::to_string(v); }
+std::string cell(unsigned long long v) { return std::to_string(v); }
+std::string cell(int v) { return std::to_string(v); }
+
+std::string cell(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace vpmem

@@ -1,0 +1,80 @@
+// Vector-kernel family for the X-MP model.
+//
+// Section IV discusses the triad in detail and defers "further
+// experiments" to the companion paper [10] (Oed & Lange, "Modelling,
+// measurement, and simulation of memory interference in the CRAY X-MP").
+// This module generalizes the triad driver to any kernel of the shape
+//   A(I) = f(B(I), C(I), ...)     (op_loads load arrays, optional store)
+// so the classic Fortran kernels (copy, scale, sum, daxpy, triad) run on
+// the same strip-mined, chained port schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/xmp/machine.hpp"
+
+namespace vpmem::xmp {
+
+/// Shape of one vector kernel iteration.
+struct KernelSpec {
+  std::string name;
+  i64 loads = 1;      ///< number of distinct load-operand arrays (>= 0)
+  bool store = true;  ///< whether a result array is stored
+  bool gather = false;   ///< load 1 is indexed through load 0 (A(I) =
+                         ///< B(IX(I))): its banks are a pseudo-random
+                         ///< pattern and it chains behind the index load
+  bool scatter = false;  ///< the store is indexed through load 0
+                         ///< (A(IX(I)) = B(I)): random-bank store pattern
+
+  void validate() const;
+};
+
+/// The classic kernels.  Array 0 is the store target (when present);
+/// load arrays follow it in the COMMON block.
+[[nodiscard]] KernelSpec copy_kernel();    ///< A(I) = B(I)
+[[nodiscard]] KernelSpec scale_kernel();   ///< A(I) = s * B(I)
+[[nodiscard]] KernelSpec sum_kernel();     ///< s = s + B(I)        (no store)
+[[nodiscard]] KernelSpec daxpy_kernel();   ///< A(I) = B(I) + s*C(I)
+[[nodiscard]] KernelSpec triad_kernel();   ///< A(I) = B(I) + C(I)*D(I)
+/// A(I) = B(IX(I)) — hardware gather through an index vector.  A model
+/// extension beyond the paper (gather/scatter arrived with the four-CPU
+/// X-MPs): the indexed stream's banks are uniformly random, so gather
+/// pays the random-traffic conflict tax of the baseline module no matter
+/// how IX itself strides.
+[[nodiscard]] KernelSpec gather_kernel();
+/// A(IX(I)) = B(I) — hardware scatter; the store's banks are random.
+[[nodiscard]] KernelSpec scatter_kernel();
+[[nodiscard]] const std::vector<KernelSpec>& all_kernels();
+
+/// Execute `spec` on CPU 0 with the Section IV memory layout (consecutive
+/// arrays of `setup.idim` elements starting at `setup.base_bank`),
+/// optionally against the stride-1 background CPU.  Loads are assigned
+/// round-robin to the two load ports; the chained store issues a fixed
+/// latency after every operand's first element has arrived.
+[[nodiscard]] TriadResult run_kernel(const XmpConfig& config, const KernelSpec& spec,
+                                     const TriadSetup& setup, bool other_cpu_active);
+
+/// Outcome of a multitasked kernel (both CPUs cooperating on one loop).
+struct MultitaskResult {
+  i64 cycles = 0;  ///< periods until both halves finished
+  std::vector<sim::PortStats> cpu0_ports;
+  std::vector<sim::PortStats> cpu1_ports;
+  sim::ConflictTotals conflicts;  ///< both CPUs combined
+
+  /// Parallel speedup over a single-CPU run of the whole loop.
+  [[nodiscard]] double speedup(i64 single_cpu_cycles) const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(single_cpu_cycles) / static_cast<double>(cycles);
+  }
+};
+
+/// The conclusion's "multitasking option": split the loop across both
+/// CPUs — CPU 0 processes elements [0, ceil(n/2)), CPU 1 the rest — so
+/// both processors run *uniform* equal-stride streams instead of the
+/// hostile mixed environment of Fig. 10(a).
+[[nodiscard]] MultitaskResult run_kernel_multitasked(const XmpConfig& config,
+                                                     const KernelSpec& spec,
+                                                     const TriadSetup& setup);
+
+}  // namespace vpmem::xmp

@@ -1,0 +1,89 @@
+// A cycle-level timing model of the Cray X-MP memory pipeline, sufficient
+// to regenerate the Section IV experiment (Fig. 10).
+//
+// Substitution note (see DESIGN.md): the paper measures CPU time on real
+// hardware and validates it against the authors' (unpublished) Fortran
+// simulator.  We model the memory-relevant behaviour: two CPUs, each with
+// two vector load ports and one vector store port into a 16-bank,
+// 4-section memory with bank cycle nc = 4; vector instructions are
+// strip-mined to the 64-element vector registers, the third load of a
+// triad reuses a load port, and the chained store issues a fixed number
+// of clock periods after the last operand's first element arrives.
+// Functional-unit and issue latencies are coarse documented constants;
+// they shift curves vertically but do not affect the conflict structure,
+// which is what Fig. 10 reports.
+#pragma once
+
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::xmp {
+
+/// Machine description.  Defaults model the Juelich X-MP of the paper:
+/// 2 processors, 16 banks, 4 sections, bipolar memory with nc = 4.
+struct XmpConfig {
+  sim::MemoryConfig memory{.banks = 16,
+                           .sections = 4,
+                           .bank_cycle = 4,
+                           .mapping = sim::SectionMapping::cyclic,
+                           .priority = sim::PriorityRule::fixed};
+  i64 vector_length = 64;    ///< VL: elements per vector register strip
+  i64 issue_gap = 3;         ///< periods between instructions on one port
+  i64 chain_latency = 17;    ///< first operand element -> first store element
+                             ///< (multiply + add functional units, chained)
+  /// Start banks of the competing CPU's three stride-1 streams (Fig. 10a:
+  /// "the other CPU ... constantly accessed by all three ports with a
+  /// distance of 1").
+  std::vector<i64> background_start_banks{0, 5, 10};
+};
+
+/// The Fortran loop of Section IV:
+///   COMMON// A(IDIM), B(IDIM), C(IDIM), D(IDIM)
+///   DO 1 I = 1, N*INC, INC
+/// 1 A(I) = B(I) + C(I)*D(I)
+struct TriadSetup {
+  i64 n = 1024;              ///< vector length (independent of INC)
+  i64 inc = 1;               ///< Fortran stride
+  i64 idim = 16 * 1024 + 1;  ///< array extent; 16*1024+1 puts consecutive
+                             ///< arrays one bank apart
+  i64 base_bank = 0;         ///< bank of A(1)
+};
+
+/// Outcome of one kernel execution on CPU 0.
+struct TriadResult {
+  i64 cycles = 0;  ///< clock periods from first issue to last store grant
+  std::vector<sim::PortStats> triad_ports;  ///< every CPU-0 vector instruction
+  sim::ConflictTotals conflicts;            ///< CPU-0 totals (Fig. 10c-e)
+  /// Stats of the competing CPU's stride-1 ports (empty when it was off).
+  /// Section IV: for INC = 6 and 11 the triad is "fairly undisturbed while
+  /// the access requests of the other CPU are greatly delayed" — visible
+  /// here as depressed background goodput.
+  std::vector<sim::PortStats> background_ports;
+
+  [[nodiscard]] double cycles_per_element(i64 n) const noexcept {
+    return n == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(n);
+  }
+
+  /// Background grants per clock period over the kernel's runtime (0 when
+  /// the other CPU was off).
+  [[nodiscard]] double background_goodput() const noexcept {
+    if (cycles == 0 || background_ports.empty()) return 0.0;
+    i64 grants = 0;
+    for (const auto& p : background_ports) grants += p.grants;
+    return static_cast<double>(grants) / static_cast<double>(cycles);
+  }
+};
+
+/// Execute the triad on CPU 0, optionally with CPU 1 saturating its three
+/// ports with infinite stride-1 streams (Fig. 10a vs. 10b).
+[[nodiscard]] TriadResult run_triad(const XmpConfig& config, const TriadSetup& setup,
+                                    bool other_cpu_active);
+
+/// Start banks of A, B, C, D given the COMMON layout of `setup`.
+[[nodiscard]] std::vector<i64> triad_start_banks(const XmpConfig& config,
+                                                 const TriadSetup& setup);
+
+}  // namespace vpmem::xmp

@@ -1,0 +1,81 @@
+// Classification consistency: whatever classify_pair() promises must be
+// what the exhaustive offset sweep of the simulator delivers, for every
+// pair in the grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "vpmem/analytic/classify.hpp"
+#include "vpmem/analytic/stream.hpp"
+#include "vpmem/sim/steady_state.hpp"
+
+namespace vpmem {
+namespace {
+
+sim::MemoryConfig flat(i64 m, i64 nc) {
+  return sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc};
+}
+
+using GridParams = std::tuple<i64, i64>;  // m, nc
+
+class ClassificationGrid : public ::testing::TestWithParam<GridParams> {};
+
+TEST_P(ClassificationGrid, EveryVerdictMatchesSimulation) {
+  const auto [m, nc] = GetParam();
+  for (i64 d1 = 1; d1 < m; ++d1) {
+    for (i64 d2 = 1; d2 < m; ++d2) {
+      const analytic::PairPrediction p =
+          analytic::classify_pair(m, nc, d1, d2, /*stream1_priority=*/true);
+      const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(m, nc), d1, d2);
+      switch (p.cls) {
+        case analytic::PairClass::self_conflicting: {
+          // At least one stream alone runs below full speed; the pair can
+          // never reach 2.
+          const bool slow1 = !analytic::self_conflict_free(m, d1, nc);
+          const bool slow2 = !analytic::self_conflict_free(m, d2, nc);
+          EXPECT_TRUE(slow1 || slow2);
+          EXPECT_LT(sweep.max_bandwidth, Rational{2})
+              << "m=" << m << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+          break;
+        }
+        case analytic::PairClass::conflict_free_synchronized:
+          // Guaranteed: every offset reaches 2.
+          EXPECT_EQ(sweep.min_bandwidth, Rational{2})
+              << "m=" << m << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+          break;
+        case analytic::PairClass::disjoint_possible:
+          // Achievable: some offset reaches 2 (the consecutive-bank one).
+          EXPECT_EQ(sweep.max_bandwidth, Rational{2})
+              << "m=" << m << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+          break;
+        case analytic::PairClass::unique_barrier:
+          ASSERT_TRUE(p.bandwidth.has_value());
+          EXPECT_EQ(sweep.min_bandwidth, *p.bandwidth)
+              << "m=" << m << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+          EXPECT_EQ(sweep.max_bandwidth, *p.bandwidth)
+              << "m=" << m << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+          break;
+        case analytic::PairClass::start_dependent:
+          // No promise made; only the envelope applies.
+          EXPECT_LE(sweep.max_bandwidth, Rational{2});
+          EXPECT_GT(sweep.min_bandwidth, Rational{0});
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ClassificationGrid,
+                         ::testing::Values(GridParams{8, 2}, GridParams{12, 3},
+                                           GridParams{13, 4}, GridParams{16, 4},
+                                           GridParams{24, 3}, GridParams{13, 6}),
+                         [](const ::testing::TestParamInfo<GridParams>& param_info) {
+                           std::string name = "m";
+                           name += std::to_string(std::get<0>(param_info.param));
+                           name += "_nc";
+                           name += std::to_string(std::get<1>(param_info.param));
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,67 @@
+#include "vpmem/analytic/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpmem::analytic {
+namespace {
+
+TEST(Classify, SelfConflictingDominates) {
+  // m=16, nc=4, d=8 -> r=2 < nc.
+  const PairPrediction p = classify_pair(16, 4, 8, 1);
+  EXPECT_EQ(p.cls, PairClass::self_conflicting);
+  EXPECT_FALSE(p.bandwidth.has_value());
+}
+
+TEST(Classify, Fig2IsConflictFree) {
+  const PairPrediction p = classify_pair(12, 3, 1, 7);
+  EXPECT_EQ(p.cls, PairClass::conflict_free_synchronized);
+  EXPECT_EQ(p.bandwidth, std::optional<Rational>{Rational{2}});
+}
+
+TEST(Classify, DisjointPossible) {
+  // m=16, nc=4, d1=2, d2=6: f=2 > 1; eq. 12: m'=8, diff'=2, gcd(8,2)=2 < 8.
+  const PairPrediction p = classify_pair(16, 4, 2, 6);
+  EXPECT_EQ(p.cls, PairClass::disjoint_possible);
+  EXPECT_EQ(p.bandwidth, std::optional<Rational>{Rational{2}});
+}
+
+TEST(Classify, UniqueBarrier) {
+  // m=26, nc=3, d1=1, d2=3: Theorem 6 applies (checked in theorems_test).
+  const PairPrediction p = classify_pair(26, 3, 1, 3);
+  EXPECT_EQ(p.cls, PairClass::unique_barrier);
+  EXPECT_EQ(p.bandwidth, std::optional<Rational>{(Rational{4, 3})});
+}
+
+TEST(Classify, Fig3PairIsStartDependent) {
+  // m=13, nc=6, d1=1, d2=6: barrier at b2=0 (Fig. 3) but double conflict
+  // at b2=1 (Fig. 4) -> outcome depends on starts.
+  const PairPrediction p = classify_pair(13, 6, 1, 6);
+  EXPECT_EQ(p.cls, PairClass::start_dependent);
+  EXPECT_FALSE(p.bandwidth.has_value());
+}
+
+TEST(Classify, Fig5PairIsStartDependent) {
+  // m=13, nc=4, d1=1, d2=3: Fig. 5 barrier vs Fig. 6 inverted barrier.
+  const PairPrediction p = classify_pair(13, 4, 1, 3);
+  EXPECT_EQ(p.cls, PairClass::start_dependent);
+}
+
+TEST(Classify, NormalizesBeforeBarrierCheck) {
+  // 3 (+) 9 on m=26 is isomorphic to 1 (+) 3 (multiply by 9: 27 mod 26 = 1,
+  // 81 mod 26 = 3), so it must classify identically to (1, 3).
+  const PairPrediction direct = classify_pair(26, 3, 1, 3);
+  const PairPrediction iso = classify_pair(26, 3, 3, 9);
+  EXPECT_EQ(iso.cls, direct.cls);
+  EXPECT_EQ(iso.bandwidth, direct.bandwidth);
+}
+
+TEST(Classify, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(PairClass::self_conflicting), "self-conflicting");
+  EXPECT_EQ(to_string(PairClass::disjoint_possible), "disjoint-possible");
+  EXPECT_EQ(to_string(PairClass::conflict_free_synchronized), "conflict-free");
+  EXPECT_EQ(to_string(PairClass::unique_barrier), "unique-barrier");
+  EXPECT_EQ(to_string(PairClass::start_dependent), "start-dependent");
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

@@ -1,0 +1,69 @@
+#include "vpmem/analytic/fortran.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace vpmem::analytic {
+namespace {
+
+TEST(ArrayDistance, FirstDimensionIsPlainStride) {
+  const std::array<i64, 1> dims{1024};
+  EXPECT_EQ(array_distance(dims, 0, 1, 16), 1);
+  EXPECT_EQ(array_distance(dims, 0, 5, 16), 5);
+  EXPECT_EQ(array_distance(dims, 0, 17, 16), 1);
+}
+
+TEST(ArrayDistance, Eq33HigherDimensions) {
+  // d = INC * prod J_i mod m.  Fortran column-major: accessing a row of a
+  // 64x64 array steps by 64 elements.
+  const std::array<i64, 2> dims{64, 64};
+  EXPECT_EQ(array_distance(dims, 1, 1, 16), 0);  // 64 mod 16
+  const std::array<i64, 2> padded{65, 64};
+  EXPECT_EQ(array_distance(padded, 1, 1, 16), 1);  // 65 mod 16
+  const std::array<i64, 3> dims3{8, 10, 4};
+  EXPECT_EQ(array_stride_elements(dims3, 2, 3), 3 * 80);
+  EXPECT_EQ(array_distance(dims3, 2, 3, 16), (3 * 80) % 16);
+}
+
+TEST(ArrayDistance, Validation) {
+  const std::array<i64, 2> dims{8, 8};
+  EXPECT_THROW(static_cast<void>(array_distance(dims, 2, 1, 16)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(array_distance(dims, 0, 1, 0)), std::invalid_argument);
+  const std::array<i64, 2> bad{0, 8};
+  EXPECT_THROW(static_cast<void>(array_distance(bad, 1, 1, 16)), std::invalid_argument);
+}
+
+TEST(SafeLeadingDimension, SkipsSharedFactors) {
+  EXPECT_EQ(safe_leading_dimension(64, 16), 65);
+  EXPECT_EQ(safe_leading_dimension(65, 16), 65);
+  EXPECT_EQ(safe_leading_dimension(16, 16), 17);
+  EXPECT_EQ(safe_leading_dimension(9, 16), 9);   // already coprime
+  EXPECT_EQ(safe_leading_dimension(12, 13), 12); // prime bank count: all safe
+}
+
+TEST(SafeLeadingDimension, Validation) {
+  EXPECT_THROW(static_cast<void>(safe_leading_dimension(0, 16)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(safe_leading_dimension(4, 0)), std::invalid_argument);
+}
+
+TEST(CommonBlockStartBanks, PaperLayout) {
+  // Section IV: IDIM = 16*1024 + 1 puts A, B, C, D one bank apart.
+  const auto banks = common_block_start_banks(0, 16 * 1024 + 1, 4, 16);
+  EXPECT_EQ(banks, (std::vector<i64>{0, 1, 2, 3}));
+}
+
+TEST(CommonBlockStartBanks, UnpaddedLayoutAliases) {
+  // IDIM = 16*1024: every array starts in the same bank — the conflicting
+  // layout the paper's choice avoids.
+  const auto banks = common_block_start_banks(5, 16 * 1024, 4, 16);
+  EXPECT_EQ(banks, (std::vector<i64>{5, 5, 5, 5}));
+}
+
+TEST(CommonBlockStartBanks, Validation) {
+  EXPECT_THROW(static_cast<void>(common_block_start_banks(0, 0, 4, 16)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(common_block_start_banks(0, 5, 4, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

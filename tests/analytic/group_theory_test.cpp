@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::analytic {
+namespace {
+
+TEST(EqualDistanceGroup, ThresholdIsExact) {
+  // m=16, d=1: r=16.  p*nc <= 16 passes, beyond fails.
+  EXPECT_TRUE(equal_distance_group_conflict_free(16, 1, 4, 4));
+  EXPECT_FALSE(equal_distance_group_conflict_free(16, 1, 4, 5));
+  EXPECT_TRUE(equal_distance_group_conflict_free(16, 1, 2, 8));
+  // d=2: r=8.
+  EXPECT_TRUE(equal_distance_group_conflict_free(16, 2, 4, 2));
+  EXPECT_FALSE(equal_distance_group_conflict_free(16, 2, 4, 3));
+}
+
+TEST(EqualDistanceGroup, SingleStreamReducesToSelfConflictFree) {
+  for (i64 m : {8, 13, 16}) {
+    for (i64 nc : {2, 4}) {
+      for (i64 d = 0; d < m; ++d) {
+        EXPECT_EQ(equal_distance_group_conflict_free(m, d, nc, 1),
+                  self_conflict_free(m, d, nc))
+            << m << "," << nc << "," << d;
+      }
+    }
+  }
+}
+
+TEST(EqualDistanceGroup, OffsetsAreNcDApart) {
+  const auto offsets = equal_distance_group_offsets(16, 3, 4, 4);
+  EXPECT_EQ(offsets, (std::vector<i64>{0, 12, 8, 4}));  // i*12 mod 16
+  EXPECT_EQ(equal_distance_group_offsets(13, 1, 6, 2), (std::vector<i64>{0, 6}));
+}
+
+TEST(EqualDistanceGroup, Validation) {
+  EXPECT_THROW(static_cast<void>(equal_distance_group_conflict_free(0, 1, 4, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(equal_distance_group_conflict_free(16, 1, 0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(equal_distance_group_conflict_free(16, 1, 4, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(equal_distance_group_offsets(16, 1, 4, 0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

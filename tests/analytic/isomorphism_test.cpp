@@ -1,0 +1,93 @@
+#include "vpmem/analytic/isomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::analytic {
+namespace {
+
+TEST(ApplyMultiplier, RequiresCoprime) {
+  EXPECT_FALSE(apply_multiplier(16, 1, 3, 2).has_value());
+  EXPECT_FALSE(apply_multiplier(16, 1, 3, 4).has_value());
+  ASSERT_TRUE(apply_multiplier(16, 1, 3, 5).has_value());
+}
+
+TEST(ApplyMultiplier, PaperExampleM16) {
+  // Appendix: 1 (+) 3 == 5 (+) 15 == 11 (+) 1 (mod 16).
+  const auto by5 = apply_multiplier(16, 1, 3, 5);
+  ASSERT_TRUE(by5);
+  EXPECT_EQ(by5->d1, 5);
+  EXPECT_EQ(by5->d2, 15);
+  const auto by11 = apply_multiplier(16, 1, 3, 11);
+  ASSERT_TRUE(by11);
+  EXPECT_EQ(by11->d1, 11);
+  EXPECT_EQ(by11->d2, 1);  // 33 mod 16
+}
+
+TEST(ApplyMultiplier, PaperExampleSecondPair) {
+  // 2 (+) 3 == 6 (+) 9 == 6 (+) 1 (mod 16): multiply by 3, then 6*9 with
+  // k=9 gives (6*... ) — verify the chain via isomorphic().
+  EXPECT_TRUE(isomorphic(16, 2, 3, 6, 9));
+  EXPECT_TRUE(isomorphic(16, 2, 3, 6, 1));
+  EXPECT_TRUE(isomorphic(16, 6, 9, 6, 1));
+}
+
+TEST(Isomorphic, PaperChain) {
+  EXPECT_TRUE(isomorphic(16, 1, 3, 5, 15));
+  EXPECT_TRUE(isomorphic(16, 1, 3, 11, 1));
+  EXPECT_FALSE(isomorphic(16, 1, 3, 2, 6));  // different gcd structure
+}
+
+TEST(Isomorphic, SwapIsIsomorphic) {
+  EXPECT_TRUE(isomorphic(16, 1, 3, 3, 1));
+  EXPECT_TRUE(isomorphic(13, 2, 5, 5, 2));
+}
+
+TEST(NormalizePair, FirstDistanceDividesM) {
+  for (i64 m : {8, 12, 13, 16, 24}) {
+    for (i64 d1 = 0; d1 < m; ++d1) {
+      for (i64 d2 = 0; d2 < m; ++d2) {
+        const NormalizedPair n = normalize_pair(m, d1, d2);
+        EXPECT_TRUE(coprime(n.k, m));
+        if (n.d1 != 0) {
+          EXPECT_EQ(m % n.d1, 0) << "m=" << m << " d1=" << d1;
+        } else {
+          EXPECT_EQ(mod_norm(d1, m), 0);
+        }
+        // The multiplier actually maps the inputs onto the outputs.
+        EXPECT_EQ(mod_norm(n.k * d1, m), n.d1);
+        EXPECT_EQ(mod_norm(n.k * d2, m), n.d2);
+      }
+    }
+  }
+}
+
+TEST(NormalizePair, PreservesReturnNumbers) {
+  // Renumbering banks cannot change how often a stream returns.
+  for (i64 m : {12, 16}) {
+    for (i64 d1 = 1; d1 < m; ++d1) {
+      for (i64 d2 = 1; d2 < m; ++d2) {
+        const NormalizedPair n = normalize_pair(m, d1, d2);
+        EXPECT_EQ(return_number(m, n.d1), return_number(m, d1));
+        EXPECT_EQ(return_number(m, n.d2), return_number(m, d2));
+      }
+    }
+  }
+}
+
+TEST(NormalizePairOrdered, PrefersTheoremShape) {
+  // 6 (+) 1 on m=16 should come back as (canonical d1 | m, d2 > d1) via swap.
+  const NormalizedPair n = normalize_pair_ordered(16, 6, 1);
+  EXPECT_GE(n.d1, 1);
+  EXPECT_EQ(16 % n.d1, 0);
+  EXPECT_GT(n.d2, n.d1);
+}
+
+TEST(Isomorphic, InvalidArguments) {
+  EXPECT_THROW(static_cast<void>(isomorphic(0, 1, 1, 1, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(normalize_pair(0, 1, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

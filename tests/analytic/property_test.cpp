@@ -1,0 +1,304 @@
+// Property suite: every theorem of Section III is checked against the
+// exact cycle-level simulator over parameter grids.  These are the
+// strongest correctness guarantees in the repository — the analytic model
+// and the machine model are implemented independently and must agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "vpmem/analytic/isomorphism.hpp"
+#include "vpmem/analytic/stream.hpp"
+#include "vpmem/analytic/theorems.hpp"
+#include "vpmem/sim/steady_state.hpp"
+
+namespace vpmem {
+namespace {
+
+sim::MemoryConfig flat(i64 m, i64 nc) {
+  return sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc};
+}
+
+using GridParams = std::tuple<i64, i64>;  // m, nc
+
+class PairGrid : public ::testing::TestWithParam<GridParams> {
+ protected:
+  [[nodiscard]] i64 m() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] i64 nc() const { return std::get<1>(GetParam()); }
+  [[nodiscard]] bool both_self_free(i64 d1, i64 d2) const {
+    return analytic::self_conflict_free(m(), d1, nc()) &&
+           analytic::self_conflict_free(m(), d2, nc());
+  }
+};
+
+// Theorem 3 + synchronization: when eq. 12 holds (and neither stream
+// self-conflicts), *every* relative start position converges to a
+// conflict-free cycle with b_eff = 2.
+TEST_P(PairGrid, Theorem3SynchronizationHolds) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    for (i64 d2 = 1; d2 < m(); ++d2) {
+      if (!both_self_free(d1, d2)) continue;
+      if (!analytic::conflict_free_achievable(m(), nc(), d1, d2)) continue;
+      const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(m(), nc()), d1, d2);
+      EXPECT_EQ(sweep.min_bandwidth, Rational{2})
+          << "m=" << m() << " nc=" << nc() << " d1=" << d1 << " d2=" << d2;
+    }
+  }
+}
+
+// Theorem 3, only-if direction: when eq. 12 fails, no start position can
+// make two streams with *intersecting* access sets conflict-free — the
+// maximum over offsets with intersecting sets stays below 2.
+TEST_P(PairGrid, Theorem3ConverseNoConflictFreePlacement) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    for (i64 d2 = 1; d2 < m(); ++d2) {
+      if (!both_self_free(d1, d2)) continue;
+      if (analytic::conflict_free_achievable(m(), nc(), d1, d2)) continue;
+      for (i64 b2 = 0; b2 < m(); ++b2) {
+        if (analytic::access_sets_disjoint(m(), 0, d1, b2, d2)) continue;
+        const sim::SteadyState ss =
+            sim::find_steady_state(flat(m(), nc()), sim::two_streams(0, d1, b2, d2));
+        EXPECT_LT(ss.bandwidth, Rational{2})
+            << "m=" << m() << " nc=" << nc() << " d1=" << d1 << " d2=" << d2 << " b2=" << b2;
+      }
+    }
+  }
+}
+
+// Theorem 2: gcd(m, d1, d2) > 1 makes consecutive start banks disjoint,
+// and disjoint placements run at full bandwidth.
+TEST_P(PairGrid, Theorem2DisjointPlacementRunsAtFullBandwidth) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    for (i64 d2 = 1; d2 < m(); ++d2) {
+      if (!both_self_free(d1, d2)) continue;
+      if (!analytic::disjoint_access_sets_achievable(m(), d1, d2)) continue;
+      ASSERT_TRUE(analytic::access_sets_disjoint(m(), 0, d1, 1, d2));
+      const sim::SteadyState ss =
+          sim::find_steady_state(flat(m(), nc()), sim::two_streams(0, d1, 1, d2));
+      EXPECT_EQ(ss.bandwidth, Rational{2})
+          << "m=" << m() << " nc=" << nc() << " d1=" << d1 << " d2=" << d2;
+      EXPECT_TRUE(ss.conflict_free());
+    }
+  }
+}
+
+// Theorems 6/7 + eq. 29: a unique barrier-situation yields
+// b_eff = 1 + d1/d2 from *every* relative start position.
+TEST_P(PairGrid, UniqueBarrierBandwidthIsEq29ForAllOffsets) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    if (m() % d1 != 0) continue;
+    for (i64 d2 = d1 + 1; d2 < m(); ++d2) {
+      if (!both_self_free(d1, d2)) continue;
+      if (analytic::conflict_free_achievable(m(), nc(), d1, d2)) continue;
+      if (analytic::disjoint_access_sets_achievable(m(), d1, d2)) continue;
+      if (!analytic::unique_barrier(m(), nc(), d1, d2, /*stream1_priority=*/true)) continue;
+      const Rational expected = analytic::barrier_bandwidth(d1, d2);
+      const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(m(), nc()), d1, d2);
+      EXPECT_EQ(sweep.min_bandwidth, expected)
+          << "m=" << m() << " nc=" << nc() << " d1=" << d1 << " d2=" << d2;
+      EXPECT_EQ(sweep.max_bandwidth, expected)
+          << "m=" << m() << " nc=" << nc() << " d1=" << d1 << " d2=" << d2;
+    }
+  }
+}
+
+// Theorem 5: within the eq. 17 barrier context, when (nc-1)(d2+d1) < m no
+// start position leads to a double conflict — in every steady cycle at
+// most one of the two streams is ever delayed.  (The eq. 17 scoping is
+// required: see Theorem5NeedsBarrierContext below.)
+TEST_P(PairGrid, Theorem5NoDoubleConflict) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    if (m() % d1 != 0) continue;
+    for (i64 d2 = d1 + 1; d2 < m(); ++d2) {
+      if (!both_self_free(d1, d2)) continue;
+      if (!analytic::barrier_possible(m(), nc(), d1, d2)) continue;
+      if (!analytic::double_conflict_impossible(m(), nc(), d1, d2)) continue;
+      for (i64 b2 = 0; b2 < m(); ++b2) {
+        const sim::SteadyState ss =
+            sim::find_steady_state(flat(m(), nc()), sim::two_streams(0, d1, b2, d2));
+        const bool port0_delayed = !ss.port_conflict_free(0);
+        const bool port1_delayed = !ss.port_conflict_free(1);
+        EXPECT_FALSE(port0_delayed && port1_delayed)
+            << "double conflict at m=" << m() << " nc=" << nc() << " d1=" << d1
+            << " d2=" << d2 << " b2=" << b2;
+      }
+    }
+  }
+}
+
+// Effective bandwidth never exceeds the port count and never drops below
+// the worst single stream (sanity envelope for every pair).
+TEST_P(PairGrid, BandwidthEnvelope) {
+  for (i64 d1 = 1; d1 < m(); ++d1) {
+    for (i64 d2 = 1; d2 < m(); ++d2) {
+      const sim::SteadyState ss =
+          sim::find_steady_state(flat(m(), nc()), sim::two_streams(0, d1, 2 % m(), d2));
+      EXPECT_LE(ss.bandwidth, Rational{2});
+      EXPECT_GT(ss.bandwidth, Rational{0});
+      // Each port individually can at best stream one element per period.
+      for (const auto& bw : ss.per_port) EXPECT_LE(bw, Rational{1});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PairGrid,
+                         ::testing::Values(GridParams{8, 2}, GridParams{12, 2},
+                                           GridParams{12, 3}, GridParams{13, 4},
+                                           GridParams{13, 6}, GridParams{16, 4},
+                                           GridParams{16, 2}, GridParams{24, 3}),
+                         [](const ::testing::TestParamInfo<GridParams>& param_info) {
+                           std::string name = "m";
+                           name += std::to_string(std::get<0>(param_info.param));
+                           name += "_nc";
+                           name += std::to_string(std::get<1>(param_info.param));
+                           return name;
+                         });
+
+// Reproduction findings (documented in EXPERIMENTS.md): two boundary cases
+// where the theorems' stated side conditions are not quite sufficient.
+TEST(ReproductionFindings, Theorem5NeedsBarrierContext) {
+  // m=12, nc=2, d1=1, d2=4 satisfies eq. 22 ((nc-1)(d1+d2) = 5 < 12) and
+  // all of Theorem 5's listed side conditions, yet every start offset
+  // yields a mutual-delay cycle at b_eff = 8/5 — eq. 17 fails (c = 3 >=
+  // nc), so the pair is outside the barrier context the proof assumes.
+  EXPECT_TRUE(analytic::double_conflict_impossible(12, 2, 1, 4));
+  EXPECT_TRUE(analytic::barrier_preconditions_hold(12, 2, 1, 4));
+  EXPECT_FALSE(analytic::barrier_possible(12, 2, 1, 4));
+  const sim::SteadyState ss = sim::find_steady_state(flat(12, 2), sim::two_streams(0, 1, 0, 4));
+  EXPECT_EQ(ss.bandwidth, (Rational{8, 5}));
+  EXPECT_FALSE(ss.port_conflict_free(0));
+  EXPECT_FALSE(ss.port_conflict_free(1));
+}
+
+TEST(ReproductionFindings, Theorem4DegeneratesWhenProductDividesM) {
+  // m=12, nc=2, d1=3, d2=8: eq. 17's inequality holds, but the proof's
+  // "first common address after 0 is d1*d2 mod m" degenerates because
+  // 3*8 = 24 == 0 (mod 12).  No barrier placement exists: every offset
+  // runs the same mutual-delay cycle at 7/4 (not 1 + 3/8 = 11/8).
+  EXPECT_FALSE(analytic::barrier_possible(12, 2, 3, 8));
+  const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(12, 2), 3, 8);
+  EXPECT_EQ(sweep.min_bandwidth, (Rational{7, 4}));
+  EXPECT_EQ(sweep.max_bandwidth, (Rational{7, 4}));
+}
+
+// Appendix: isomorphic distance pairs produce the same multiset of
+// steady-state bandwidths over all relative start positions (the
+// renumbering k permutes offsets b2 -> k*b2).
+TEST(IsomorphismProperty, OffsetProfileInvariant) {
+  const i64 m = 16;
+  const i64 nc = 4;
+  const std::vector<std::pair<i64, i64>> pairs{{1, 3}, {2, 3}, {1, 6}, {2, 5}};
+  for (auto [d1, d2] : pairs) {
+    const sim::OffsetSweep base = sim::sweep_start_offsets(flat(m, nc), d1, d2);
+    auto base_sorted = base.by_offset;
+    std::sort(base_sorted.begin(), base_sorted.end());
+    for (i64 k = 3; k <= 13; k += 2) {
+      if (!coprime(k, m)) continue;
+      const auto mapped = analytic::apply_multiplier(m, d1, d2, k);
+      ASSERT_TRUE(mapped.has_value());
+      const sim::OffsetSweep iso = sim::sweep_start_offsets(flat(m, nc), mapped->d1, mapped->d2);
+      auto iso_sorted = iso.by_offset;
+      std::sort(iso_sorted.begin(), iso_sorted.end());
+      EXPECT_EQ(base_sorted, iso_sorted)
+          << "d1=" << d1 << " d2=" << d2 << " k=" << k;
+    }
+  }
+}
+
+// Equal-distance group generalization: p streams of distance d started
+// nc*d apart are conflict-free iff r >= p*nc; the simulator confirms both
+// the schedule and the failure just past the threshold.
+TEST(GroupProperty, EqualDistanceGroupScheduleIsExact) {
+  for (i64 m : {8, 12, 16, 24}) {
+    for (i64 nc : {2, 3, 4}) {
+      for (i64 d = 1; d < m; ++d) {
+        for (i64 p = 2; p <= 4; ++p) {
+          const auto offsets = analytic::equal_distance_group_offsets(m, d, nc, p);
+          std::vector<sim::StreamConfig> streams;
+          for (i64 i = 0; i < p; ++i) {
+            sim::StreamConfig s;
+            s.start_bank = offsets[static_cast<std::size_t>(i)];
+            s.distance = d;
+            s.cpu = i;
+            streams.push_back(s);
+          }
+          const sim::SteadyState ss =
+              sim::find_steady_state(flat(m, nc), streams);
+          if (analytic::equal_distance_group_conflict_free(m, d, nc, p)) {
+            EXPECT_EQ(ss.bandwidth, Rational{p})
+                << "m=" << m << " nc=" << nc << " d=" << d << " p=" << p;
+            EXPECT_TRUE(ss.conflict_free());
+          } else {
+            // r < p*nc: the banks cannot serve p requests per period.
+            EXPECT_LT(ss.bandwidth, Rational{p})
+                << "m=" << m << " nc=" << nc << " d=" << d << " p=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Theorem 8 (eq. 30): with s < m sections, *disjoint access sets* whose
+// section sets overlap are conflict-free iff gcd(s, d2 - d1) >= 2 — the
+// consecutive-start-bank construction of Theorem 2 validates against the
+// simulator in both directions.
+TEST(SectionProperty, Theorem8DisjointSetsAcrossSections) {
+  const i64 nc = 2;
+  for (i64 m : {8, 12, 16}) {
+    for (i64 s : {2, 4}) {
+      if (m % s != 0) continue;
+      const sim::MemoryConfig cfg{.banks = m, .sections = s, .bank_cycle = nc};
+      for (i64 d1 = 1; d1 < m; ++d1) {
+        for (i64 d2 = 1; d2 < m; ++d2) {
+          if (gcd(m, d1, d2) <= 1) continue;  // need disjoint sets
+          if (!analytic::self_conflict_free(m, d1, nc) ||
+              !analytic::self_conflict_free(m, d2, nc)) {
+            continue;
+          }
+          // Theorem 2's construction: b1 = 0, b2 = 1 gives disjoint sets.
+          ASSERT_TRUE(analytic::access_sets_disjoint(m, 0, d1, 1, d2));
+          const sim::SteadyState ss =
+              sim::find_steady_state(cfg, sim::two_streams(0, d1, 1, d2, /*same_cpu=*/true));
+          if (analytic::section_conflict_free_disjoint(s, d1, d2)) {
+            // gcd(s, d2-d1) >= 2: simultaneous requests never share a path.
+            EXPECT_EQ(ss.bandwidth, Rational{2})
+                << "m=" << m << " s=" << s << " d1=" << d1 << " d2=" << d2;
+          }
+          // Either way, only section conflicts are possible for disjoint
+          // access sets.
+          EXPECT_EQ(ss.conflicts_in_period.bank, 0)
+              << "m=" << m << " s=" << s << " d1=" << d1 << " d2=" << d2;
+          EXPECT_EQ(ss.conflicts_in_period.simultaneous, 0);
+        }
+      }
+    }
+  }
+}
+
+// Theorem 9 / eq. 31-32: the sectioned-memory conflict-free placements
+// verified in simulation (same-CPU ports share access paths).
+TEST(SectionProperty, OffsetFromTheoremIsConflictFree) {
+  struct Case {
+    i64 m, s, nc, d1, d2;
+  };
+  const std::vector<Case> cases{
+      {12, 2, 2, 1, 1},   // Fig. 7 (eq. 32 offset 3)
+      {12, 3, 2, 1, 7},   // Thm 9 offset nc*d1 = 2
+      {12, 3, 3, 1, 1},   // eq. 32 offset 4
+      {16, 4, 2, 1, 9},   // gcd(16,8)=8 >= 4; nc*d1 = 2 not mult of 4
+  };
+  for (const auto& c : cases) {
+    i64 offset = -1;
+    ASSERT_TRUE(analytic::conflict_free_with_sections(c.m, c.s, c.nc, c.d1, c.d2, &offset))
+        << "m=" << c.m << " s=" << c.s;
+    const sim::MemoryConfig cfg{.banks = c.m, .sections = c.s, .bank_cycle = c.nc};
+    const sim::SteadyState ss =
+        sim::find_steady_state(cfg, sim::two_streams(0, c.d1, offset, c.d2, /*same_cpu=*/true));
+    EXPECT_EQ(ss.bandwidth, Rational{2}) << "m=" << c.m << " s=" << c.s << " offset=" << offset;
+    EXPECT_TRUE(ss.conflict_free());
+  }
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,61 @@
+// Sectioned-memory achievability grid: wherever conflict_free_with_sections
+// promises an offset, the simulator must run conflict-free from it — over
+// every (m, s, nc, d1, d2) in the grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "vpmem/analytic/stream.hpp"
+#include "vpmem/analytic/theorems.hpp"
+#include "vpmem/sim/steady_state.hpp"
+
+namespace vpmem {
+namespace {
+
+using GridParams = std::tuple<i64, i64, i64>;  // m, s, nc
+
+class SectionedGrid : public ::testing::TestWithParam<GridParams> {};
+
+TEST_P(SectionedGrid, PromisedOffsetsAreConflictFree) {
+  const auto [m, s, nc] = GetParam();
+  const sim::MemoryConfig cfg{.banks = m, .sections = s, .bank_cycle = nc};
+  i64 promised = 0;
+  for (i64 d1 = 1; d1 < m; ++d1) {
+    for (i64 d2 = 1; d2 < m; ++d2) {
+      if (!analytic::self_conflict_free(m, d1, nc) ||
+          !analytic::self_conflict_free(m, d2, nc)) {
+        continue;
+      }
+      i64 offset = -1;
+      if (!analytic::conflict_free_with_sections(m, s, nc, d1, d2, &offset)) continue;
+      ++promised;
+      const sim::SteadyState ss =
+          sim::find_steady_state(cfg, sim::two_streams(0, d1, offset, d2, /*same_cpu=*/true));
+      EXPECT_EQ(ss.bandwidth, Rational{2})
+          << "m=" << m << " s=" << s << " nc=" << nc << " d1=" << d1 << " d2=" << d2
+          << " offset=" << offset;
+      EXPECT_TRUE(ss.conflict_free())
+          << "m=" << m << " s=" << s << " nc=" << nc << " d1=" << d1 << " d2=" << d2;
+    }
+  }
+  // The grids are chosen so the claim is not vacuous.
+  EXPECT_GT(promised, 0) << "m=" << m << " s=" << s << " nc=" << nc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SectionedGrid,
+    ::testing::Values(GridParams{12, 2, 2}, GridParams{12, 3, 2}, GridParams{12, 4, 2},
+                      GridParams{16, 2, 2}, GridParams{16, 4, 2}, GridParams{16, 4, 3},
+                      GridParams{24, 3, 3}, GridParams{24, 4, 2}),
+    [](const ::testing::TestParamInfo<GridParams>& param_info) {
+      std::string name = "m";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_s";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += "_nc";
+      name += std::to_string(std::get<2>(param_info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace vpmem

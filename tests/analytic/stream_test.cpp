@@ -1,0 +1,92 @@
+#include "vpmem/analytic/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpmem::analytic {
+namespace {
+
+TEST(ReturnNumber, Theorem1Examples) {
+  EXPECT_EQ(return_number(16, 1), 16);
+  EXPECT_EQ(return_number(16, 2), 8);
+  EXPECT_EQ(return_number(16, 4), 4);
+  EXPECT_EQ(return_number(16, 8), 2);
+  EXPECT_EQ(return_number(16, 3), 16);   // coprime stride visits all banks
+  EXPECT_EQ(return_number(16, 6), 8);    // gcd(16,6)=2
+  EXPECT_EQ(return_number(13, 6), 13);   // prime bank count
+  EXPECT_EQ(return_number(12, 7), 12);
+}
+
+TEST(ReturnNumber, ZeroAndMultipleOfM) {
+  // d = 0 (mod m): every access hits the start bank, r = 1.
+  EXPECT_EQ(return_number(16, 0), 1);
+  EXPECT_EQ(return_number(16, 16), 1);
+  EXPECT_EQ(return_number(16, 32), 1);
+}
+
+TEST(ReturnNumber, FormulaSweep) {
+  for (i64 m : {2, 3, 4, 8, 12, 13, 16, 24, 60}) {
+    for (i64 d = 0; d < 2 * m; ++d) {
+      const i64 g = std::gcd(m, mod_norm(d, m));
+      EXPECT_EQ(return_number(m, d), m / (g == 0 ? m : g)) << m << "," << d;
+    }
+  }
+}
+
+TEST(ReturnNumber, RejectsBadM) {
+  EXPECT_THROW(static_cast<void>(return_number(0, 1)), std::invalid_argument);
+}
+
+TEST(AccessSet, HasReturnNumberDistinctBanks) {
+  for (i64 m : {8, 12, 13, 16}) {
+    for (i64 d = 0; d < m; ++d) {
+      const auto z = access_set(m, 3 % m, d);
+      EXPECT_EQ(static_cast<i64>(z.size()), return_number(m, d));
+      const std::set<i64> uniq(z.begin(), z.end());
+      EXPECT_EQ(uniq.size(), z.size()) << "banks must be distinct";
+      for (i64 bank : z) {
+        EXPECT_GE(bank, 0);
+        EXPECT_LT(bank, m);
+      }
+    }
+  }
+}
+
+TEST(AccessSet, VisitOrder) {
+  EXPECT_EQ(access_set(8, 1, 3), (std::vector<i64>{1, 4, 7, 2, 5, 0, 3, 6}));
+  EXPECT_EQ(access_set(8, 0, 2), (std::vector<i64>{0, 2, 4, 6}));
+}
+
+TEST(SectionSet, CyclicMapping) {
+  // m=12, s=3: stream with d=3 visits banks {0,3,6,9}, all in section 0.
+  EXPECT_EQ(section_set(12, 3, 0, 3), (std::vector<i64>{0}));
+  // d=1 visits all sections.
+  EXPECT_EQ(section_set(12, 3, 0, 1), (std::vector<i64>{0, 1, 2}));
+  // d=2 from bank 1: banks 1,3,5,... -> sections 1,0,2,...
+  EXPECT_EQ(section_set(12, 3, 1, 2), (std::vector<i64>{1, 0, 2}));
+}
+
+TEST(SectionSet, RejectsBadSections) {
+  EXPECT_THROW(static_cast<void>(section_set(12, 5, 0, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(section_set(12, 0, 0, 1)), std::invalid_argument);
+}
+
+TEST(SingleStreamBandwidth, SectionIIIA) {
+  // r >= nc: full speed.
+  EXPECT_EQ(single_stream_bandwidth(16, 1, 4), Rational{1});
+  EXPECT_EQ(single_stream_bandwidth(16, 4, 4), Rational{1});  // r = 4 = nc
+  // r < nc: throttled to r/nc.
+  EXPECT_EQ(single_stream_bandwidth(16, 8, 4), (Rational{2, 4}));
+  EXPECT_EQ(single_stream_bandwidth(16, 0, 4), (Rational{1, 4}));
+  EXPECT_EQ(single_stream_bandwidth(8, 4, 5), (Rational{2, 5}));
+}
+
+TEST(SelfConflictFree, Threshold) {
+  EXPECT_TRUE(self_conflict_free(16, 4, 4));
+  EXPECT_FALSE(self_conflict_free(16, 8, 4));
+  EXPECT_TRUE(self_conflict_free(16, 8, 2));
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

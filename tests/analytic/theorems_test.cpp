@@ -1,0 +1,197 @@
+#include "vpmem/analytic/theorems.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::analytic {
+namespace {
+
+// ----------------------------------------------------------------- Thm 2 --
+
+TEST(Theorem2, DisjointIffCommonFactor) {
+  EXPECT_TRUE(disjoint_access_sets_achievable(16, 2, 4));   // gcd = 2
+  EXPECT_TRUE(disjoint_access_sets_achievable(12, 3, 9));   // gcd = 3
+  EXPECT_FALSE(disjoint_access_sets_achievable(16, 1, 4));  // gcd = 1
+  EXPECT_FALSE(disjoint_access_sets_achievable(13, 2, 6));  // m prime
+}
+
+TEST(Theorem2, ConstructionFromProof) {
+  // f = gcd(m, d1, d2) > 1 and consecutive start banks give disjoint sets.
+  for (i64 m : {8, 12, 16, 24}) {
+    for (i64 d1 = 1; d1 < m; ++d1) {
+      for (i64 d2 = 1; d2 < m; ++d2) {
+        if (gcd(m, d1, d2) <= 1) continue;
+        EXPECT_TRUE(access_sets_disjoint(m, 0, d1, 1, d2))
+            << "m=" << m << " d1=" << d1 << " d2=" << d2;
+      }
+    }
+  }
+}
+
+TEST(Theorem2, NoDisjointPlacementWhenCoprime) {
+  // Converse direction: gcd(m,d1,d2) = 1 -> no pair of start banks keeps
+  // the access sets apart.
+  for (i64 m : {8, 12, 13}) {
+    for (i64 d1 = 1; d1 < m; ++d1) {
+      for (i64 d2 = 1; d2 < m; ++d2) {
+        if (gcd(m, d1, d2) != 1) continue;
+        for (i64 b2 = 0; b2 < m; ++b2) {
+          EXPECT_FALSE(access_sets_disjoint(m, 0, d1, b2, d2))
+              << "m=" << m << " d1=" << d1 << " d2=" << d2 << " b2=" << b2;
+        }
+      }
+    }
+  }
+}
+
+TEST(AccessSetsDisjoint, PlacementSensitive) {
+  // m=8, d1=d2=2: same parity collides, opposite parity is disjoint.
+  EXPECT_FALSE(access_sets_disjoint(8, 0, 2, 2, 2));
+  EXPECT_TRUE(access_sets_disjoint(8, 0, 2, 1, 2));
+}
+
+// ----------------------------------------------------------------- Thm 3 --
+
+TEST(Theorem3, PaperExampleFig2) {
+  // m=12, nc=3, d1=1, d2=7: gcd(12, 6) = 6 >= 2*3.
+  EXPECT_TRUE(conflict_free_achievable(12, 3, 1, 7));
+}
+
+TEST(Theorem3, EqualDistances) {
+  // gcd(m, 0) = m: equal distances conflict-free iff r >= 2*nc.
+  EXPECT_TRUE(conflict_free_achievable(16, 4, 1, 1));   // r = 16 >= 8
+  EXPECT_TRUE(conflict_free_achievable(16, 4, 2, 2));   // r = 8 >= 8
+  EXPECT_FALSE(conflict_free_achievable(12, 4, 2, 2));  // gcd=2: m/f=6 < 8
+}
+
+TEST(Theorem3, EqualDistanceBoundaryIsExact) {
+  // m=16, d=2: f=2, m/f=8, gcd(8,0)=8 >= 2*4 -> conflict-free at nc=4,
+  // not at nc=5.
+  EXPECT_TRUE(conflict_free_achievable(16, 4, 2, 2));
+  EXPECT_FALSE(conflict_free_achievable(16, 5, 2, 2));
+}
+
+TEST(Theorem3, FactoredCase) {
+  // f = 2: m=24, d1=2, d2=14 -> m'=12, diff'=6, gcd(12,6)=6 >= 2*nc for nc<=3.
+  EXPECT_TRUE(conflict_free_achievable(24, 3, 2, 14));
+  EXPECT_FALSE(conflict_free_achievable(24, 4, 2, 14));
+}
+
+TEST(Theorem3, OffsetFormula) {
+  EXPECT_EQ(conflict_free_offset(12, 3, 1), 3);
+  EXPECT_EQ(conflict_free_offset(12, 3, 7), 9);  // 21 mod 12
+}
+
+// -------------------------------------------------------------- Thm 4-7 --
+
+TEST(BarrierPreconditions, SideConditions) {
+  // Fig. 3 pair: m=13, nc=6, d1=1, d2=6.
+  EXPECT_TRUE(barrier_preconditions_hold(13, 6, 1, 6));
+  // d1 must divide m.
+  EXPECT_FALSE(barrier_preconditions_hold(13, 2, 2, 6));
+  // d2 > d1 required.
+  EXPECT_FALSE(barrier_preconditions_hold(13, 6, 6, 1));
+  EXPECT_FALSE(barrier_preconditions_hold(13, 6, 1, 1));
+  // r1 >= 2nc: m=12, d1=1 -> r1=12 >= 12 ok at nc=6, fails at nc=7.
+  EXPECT_FALSE(barrier_preconditions_hold(12, 7, 1, 6));
+}
+
+TEST(Theorem4, PaperExamples) {
+  // Fig. 3: m=13, nc=6, d1=1, d2=6: (6 mod 13) - 1 = 5 < 6.
+  EXPECT_TRUE(barrier_possible(13, 6, 1, 6));
+  // Fig. 5: m=13, nc=4, d1=1, d2=3: (3 mod 13) - 1 = 2 < 4.
+  EXPECT_TRUE(barrier_possible(13, 4, 1, 3));
+  // m=13, nc=4, d2=6: c = 5 >= nc -> no barrier placement.
+  EXPECT_FALSE(barrier_possible(13, 4, 1, 6));
+}
+
+TEST(Theorem5, PaperExamples) {
+  // Fig. 4 pair (m=13, nc=6, d1=1, d2=6): (6-1)*7 = 35 >= 13, double
+  // conflict possible (and Fig. 4 exhibits it).
+  EXPECT_FALSE(double_conflict_impossible(13, 6, 1, 6));
+  // Fig. 5 pair (m=13, nc=4, d1=1, d2=3): 3*4 = 12 < 13: never.
+  EXPECT_TRUE(double_conflict_impossible(13, 4, 1, 3));
+}
+
+TEST(Theorem6, Bound) {
+  // Needs (2nc-1)*d2 <= m on top of eq. 17.
+  // m=26, nc=2, d1=1, d2=3: c=(3-1) mod 26=2 >= nc -> no barrier.
+  EXPECT_FALSE(barrier_possible(26, 2, 1, 3));
+  // m=26, nc=3, d1=1, d2=3: c=2 < 3 barrier; (5)*3=15 <= 26 -> unique.
+  EXPECT_TRUE(unique_barrier_thm6(26, 3, 1, 3));
+  // Fig. 5: (2*4-1)*3 = 21 > 13 -> Theorem 6 does not apply.
+  EXPECT_FALSE(unique_barrier_thm6(13, 4, 1, 3));
+}
+
+TEST(Theorem7, Fig5IsNotUnique) {
+  // The paper shows Fig. 5's barrier is not unique (Fig. 6 inverts it):
+  // k = ceil(13/3)*1 = 5 < 8, but 5*3 mod 13 = 2 >= (5-4)*1 = 1.
+  EXPECT_FALSE(unique_barrier_thm7(13, 4, 1, 3));
+  // Equality case with priority: k*d2 == (k-nc)*d1 (eq. 28).
+  EXPECT_FALSE(unique_barrier_thm7(13, 4, 1, 3, /*stream1_priority=*/true));
+}
+
+TEST(BarrierBandwidth, Eq29) {
+  EXPECT_EQ(barrier_bandwidth(1, 6), (Rational{7, 6}));  // Fig. 3
+  EXPECT_EQ(barrier_bandwidth(1, 3), (Rational{4, 3}));  // Fig. 5
+  EXPECT_EQ(barrier_bandwidth(2, 5), (Rational{7, 5}));
+  EXPECT_THROW(static_cast<void>(barrier_bandwidth(1, 0)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Thm 8/9 --
+
+TEST(Theorem8, SectionGcdBound) {
+  EXPECT_TRUE(section_conflict_free_disjoint(4, 2, 4));   // gcd(4,2)=2
+  EXPECT_FALSE(section_conflict_free_disjoint(4, 2, 5));  // gcd(4,3)=1
+  EXPECT_TRUE(section_conflict_free_disjoint(4, 3, 3));   // gcd(4,0)=4
+}
+
+TEST(Theorem9, SectionAlignment) {
+  // nc*d1 must not be a multiple of s.
+  EXPECT_TRUE(section_condition_thm9(3, 2, 1));   // 2 not mult of 3
+  EXPECT_FALSE(section_condition_thm9(2, 2, 1));  // 2 is mult of 2 (Fig. 7 case)
+  EXPECT_FALSE(section_condition_thm9(4, 2, 2));  // 4 mult of 4
+}
+
+TEST(Eq32, Fig7Example) {
+  // Fig. 7: m=12, s=2, nc=2, d1=d2=1.  Eq. 31 fails (nc*d1 = 2 = s) but
+  // eq. 32 holds: gcd(12, 0) = 12 >= 2*(2+1).
+  EXPECT_FALSE(section_condition_thm9(2, 2, 1));
+  EXPECT_TRUE(conflict_free_achievable_ext(12, 2, 1, 1));
+  EXPECT_EQ(conflict_free_offset_ext(12, 2, 1), 3);  // (nc+1)*d1
+  i64 offset = -1;
+  EXPECT_TRUE(conflict_free_with_sections(12, 2, 2, 1, 1, &offset));
+  EXPECT_EQ(offset, 3);
+}
+
+TEST(ConflictFreeWithSections, PrefersThm9Offset) {
+  // m=12, s=3, nc=2, d1=1, d2=7: eq. 12 holds (gcd(12,6)=6 >= 4) and
+  // nc*d1 = 2 is not a multiple of 3.
+  i64 offset = -1;
+  EXPECT_TRUE(conflict_free_with_sections(12, 3, 2, 1, 7, &offset));
+  EXPECT_EQ(offset, 2);
+}
+
+TEST(ConflictFreeWithSections, FailsWhenNeitherApplies) {
+  // m=12, s=3, nc=3, d1=d2=1: nc*d1 = 3 = s fails eq. 31 and
+  // gcd(12,0)=12 < 2*(3+1)=8?  12 >= 8 -> ext applies but offset
+  // (nc+1)*d1 = 4 is not a multiple of 3, so it succeeds.
+  i64 offset = -1;
+  EXPECT_TRUE(conflict_free_with_sections(12, 3, 3, 1, 1, &offset));
+  EXPECT_EQ(offset, 4);
+  // m=12, s=2, nc=3, d1=2, d2=2: f=2, m/f=6, gcd(6,0)=6 < 2*nc=6? equal ->
+  // eq.12 holds at boundary; nc*d1 = 6 multiple of 2 fails; ext needs
+  // gcd >= 8, fails.
+  EXPECT_FALSE(conflict_free_with_sections(12, 2, 3, 2, 2));
+}
+
+TEST(Validation, ArgumentChecks) {
+  EXPECT_THROW(static_cast<void>(conflict_free_achievable(0, 1, 1, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(conflict_free_achievable(8, 0, 1, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(section_conflict_free_disjoint(0, 1, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(conflict_free_with_sections(12, 5, 2, 1, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem::analytic

@@ -1,0 +1,113 @@
+#include "vpmem/baseline/random_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpmem/baseline/rng.hpp"
+
+namespace vpmem::baseline {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c{43};
+  EXPECT_NE(SplitMix64{42}.next(), c.next());
+}
+
+TEST(SplitMix64, BoundedValuesInRange) {
+  SplitMix64 rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(16), 16u);
+}
+
+TEST(RandomBankPattern, DeterministicAndInRange) {
+  const auto a = random_bank_pattern(16, 256, 1);
+  const auto b = random_bank_pattern(16, 256, 1);
+  EXPECT_EQ(a, b);
+  for (i64 bank : a) {
+    EXPECT_GE(bank, 0);
+    EXPECT_LT(bank, 16);
+  }
+  EXPECT_NE(a, random_bank_pattern(16, 256, 2));
+}
+
+TEST(RandomBankPattern, CoversAllBanks) {
+  const auto pattern = random_bank_pattern(8, 512, 3);
+  std::vector<bool> seen(8, false);
+  for (i64 bank : pattern) seen[static_cast<std::size_t>(bank)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RandomBankPattern, Validation) {
+  EXPECT_THROW(static_cast<void>(random_bank_pattern(0, 16, 1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(random_bank_pattern(8, 0, 1)), std::invalid_argument);
+}
+
+TEST(AcceptanceModel, ClosedForm) {
+  EXPECT_DOUBLE_EQ(acceptance_model(16, 1), 1.0);
+  // Two requests over m banks: 2 - 1/m expected distinct banks.
+  EXPECT_NEAR(acceptance_model(16, 2), 2.0 - 1.0 / 16.0, 1e-12);
+  // Saturates at m as p -> infinity (within double precision).
+  EXPECT_LE(acceptance_model(16, 1000), 16.0);
+  EXPECT_GT(acceptance_model(16, 1000), 15.99);
+  EXPECT_LT(acceptance_model(16, 30), 16.0);
+  EXPECT_THROW(static_cast<void>(acceptance_model(0, 1)), std::invalid_argument);
+}
+
+TEST(ServiceBound, MinOfPortsAndServiceSlots) {
+  EXPECT_DOUBLE_EQ(service_bound(16, 4, 2), 2.0);
+  EXPECT_DOUBLE_EQ(service_bound(16, 4, 6), 4.0);  // m/nc = 4 caps 6 ports
+  EXPECT_DOUBLE_EQ(service_bound(16, 1, 32), 16.0);
+  EXPECT_THROW(static_cast<void>(service_bound(0, 1, 1)), std::invalid_argument);
+}
+
+TEST(RandomTrafficBandwidth, SinglePortNcOne) {
+  // nc = 1: a lone random port is never delayed.
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 1};
+  EXPECT_DOUBLE_EQ(random_traffic_bandwidth(cfg, 1, 100, 2000), 1.0);
+}
+
+TEST(RandomTrafficBandwidth, SinglePortSlowsWithBankCycle) {
+  // A lone random port hits its own recently-used banks with probability
+  // ~ (nc-1)/m per request; bandwidth must drop below 1 but stay above
+  // the all-same-bank floor 1/nc.
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  const double bw = random_traffic_bandwidth(cfg, 1, 500, 20000);
+  EXPECT_LT(bw, 1.0);
+  EXPECT_GT(bw, 0.25);
+}
+
+TEST(RandomTrafficBandwidth, DeterministicInSeed) {
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  EXPECT_DOUBLE_EQ(random_traffic_bandwidth(cfg, 4, 200, 5000, 9),
+                   random_traffic_bandwidth(cfg, 4, 200, 5000, 9));
+}
+
+TEST(RandomTrafficBandwidth, MonotoneInPortsUpToSaturation) {
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  double prev = 0.0;
+  for (i64 p : {1, 2, 4}) {
+    const double bw = random_traffic_bandwidth(cfg, p, 500, 20000);
+    EXPECT_GT(bw, prev) << p;
+    EXPECT_LE(bw, service_bound(16, 4, p) + 1e-9) << p;
+    prev = bw;
+  }
+}
+
+TEST(RandomTrafficBandwidth, RandomLosesToConflictFreeVectorMode) {
+  // The motivation of vector-mode analysis: structured streams beat
+  // random traffic.  Two stride-1 streams at the Theorem 3 offset get
+  // b_eff = 2; two random ports on the same machine get far less.
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  const double random_bw = random_traffic_bandwidth(cfg, 2, 500, 20000);
+  EXPECT_LT(random_bw, 1.8);
+}
+
+TEST(RandomTrafficBandwidth, Validation) {
+  const sim::MemoryConfig cfg{.banks = 16, .sections = 16, .bank_cycle = 4};
+  EXPECT_THROW(static_cast<void>(random_traffic_bandwidth(cfg, 0, 10, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem::baseline

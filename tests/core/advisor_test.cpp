@@ -1,0 +1,75 @@
+#include "vpmem/core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpmem::core {
+namespace {
+
+sim::MemoryConfig xmp_like() {
+  return sim::MemoryConfig{.banks = 16, .sections = 16, .bank_cycle = 4};
+}
+
+TEST(Advisor, FlagsSelfConflictingAccess) {
+  // Walking a row of a 64-column array: distance 64 mod 16 = 0, r = 1.
+  const AdvisorReport report =
+      advise(xmp_like(), {PlannedAccess{.name = "A(i,:)", .dims = {64, 64}, .dim_index = 1}});
+  ASSERT_EQ(report.accesses.size(), 1u);
+  EXPECT_TRUE(report.accesses[0].self_conflicting);
+  EXPECT_EQ(report.accesses[0].distance, 0);
+  EXPECT_EQ(report.accesses[0].self_bandwidth, (Rational{1, 4}));
+  // The conclusion's advice: pad the leading dimension to 65.
+  bool mentions_pad = false;
+  for (const auto& r : report.recommendations) {
+    if (r.find("65") != std::string::npos) mentions_pad = true;
+  }
+  EXPECT_TRUE(mentions_pad);
+}
+
+TEST(Advisor, CleanAccessHasNoWarnings) {
+  const AdvisorReport report =
+      advise(xmp_like(), {PlannedAccess{.name = "A(:)", .dims = {1024}, .dim_index = 0}});
+  EXPECT_FALSE(report.accesses[0].self_conflicting);
+  ASSERT_EQ(report.recommendations.size(), 1u);
+  EXPECT_NE(report.recommendations[0].find("No self-conflicts"), std::string::npos);
+}
+
+TEST(Advisor, PairwiseClassification) {
+  const AdvisorReport report = advise(
+      xmp_like(), {PlannedAccess{.name = "X", .dims = {1024}, .dim_index = 0, .inc = 1},
+                   PlannedAccess{.name = "Y", .dims = {1024}, .dim_index = 0, .inc = 2},
+                   PlannedAccess{.name = "Z", .dims = {1024}, .dim_index = 0, .inc = 3}});
+  EXPECT_EQ(report.pairs.size(), 3u);  // XY, XZ, YZ
+  EXPECT_EQ(report.pairs[0].first, "X");
+  EXPECT_EQ(report.pairs[0].second, "Y");
+}
+
+TEST(Advisor, BarrierPairTriggersRecommendation) {
+  // m=26, nc=3: distances 1 and 3 form a unique barrier (Theorem 6).
+  sim::MemoryConfig cfg{.banks = 26, .sections = 26, .bank_cycle = 3};
+  const AdvisorReport report =
+      advise(cfg, {PlannedAccess{.name = "U", .dims = {100}, .dim_index = 0, .inc = 1},
+                   PlannedAccess{.name = "V", .dims = {100}, .dim_index = 0, .inc = 3}});
+  bool barrier_flagged = false;
+  for (const auto& r : report.recommendations) {
+    if (r.find("barrier") != std::string::npos) barrier_flagged = true;
+  }
+  EXPECT_TRUE(barrier_flagged);
+}
+
+TEST(Advisor, ReportRendering) {
+  const AdvisorReport report =
+      advise(xmp_like(), {PlannedAccess{.name = "A", .dims = {64}, .dim_index = 0, .inc = 8}});
+  const std::string s = report.str();
+  EXPECT_NE(s.find("Accesses:"), std::string::npos);
+  EXPECT_NE(s.find("Recommendations:"), std::string::npos);
+  EXPECT_NE(s.find("SELF-CONFLICTING"), std::string::npos);
+}
+
+TEST(Advisor, EmptyInput) {
+  const AdvisorReport report = advise(xmp_like(), {});
+  EXPECT_TRUE(report.accesses.empty());
+  EXPECT_TRUE(report.pairs.empty());
+}
+
+}  // namespace
+}  // namespace vpmem::core

@@ -1,0 +1,96 @@
+#include "vpmem/core/diagnose.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpmem::core {
+namespace {
+
+TEST(Diagnose, ConflictFreeFig2) {
+  const Diagnosis d = diagnose({.banks = 12, .sections = 12, .bank_cycle = 3},
+                               sim::two_streams(0, 1, 3, 7));
+  EXPECT_EQ(d.regime, RunRegime::conflict_free);
+  EXPECT_EQ(d.bandwidth, Rational{2});
+}
+
+TEST(Diagnose, BarrierIsBankLimited) {
+  const Diagnosis d = diagnose({.banks = 13, .sections = 13, .bank_cycle = 6},
+                               sim::two_streams(0, 1, 0, 6));
+  EXPECT_EQ(d.regime, RunRegime::bank_limited);
+  EXPECT_EQ(d.bandwidth, (Rational{7, 6}));
+}
+
+TEST(Diagnose, DetectsFig8LinkedConflict) {
+  const Diagnosis d = diagnose({.banks = 12, .sections = 3, .bank_cycle = 3},
+                               sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true));
+  EXPECT_EQ(d.regime, RunRegime::linked_conflict);
+  EXPECT_EQ(d.bandwidth, (Rational{3, 2}));
+  EXPECT_GT(d.conflicts_in_period.bank, 0);
+  EXPECT_GT(d.conflicts_in_period.section, 0);
+}
+
+TEST(Diagnose, CyclicPriorityRemovesLinkedConflict) {
+  const Diagnosis d = diagnose({.banks = 12,
+                                .sections = 3,
+                                .bank_cycle = 3,
+                                .priority = sim::PriorityRule::cyclic},
+                               sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true));
+  EXPECT_EQ(d.regime, RunRegime::conflict_free);
+}
+
+TEST(Diagnose, SectionLimited) {
+  // Two same-CPU streams pinned to one section: pure path contention.
+  sim::StreamConfig a;
+  a.bank_pattern = {0};
+  sim::StreamConfig b;
+  b.bank_pattern = {2};
+  const Diagnosis d = diagnose({.banks = 4, .sections = 2, .bank_cycle = 1}, {a, b});
+  EXPECT_EQ(d.regime, RunRegime::section_limited);
+  EXPECT_EQ(d.bandwidth, Rational{1});  // one path grant per period
+}
+
+TEST(Diagnose, CrossCpuLimited) {
+  // Two CPUs fighting over one bank with nc = 1: pure simultaneous
+  // conflicts under fixed priority.
+  sim::StreamConfig a;
+  a.bank_pattern = {0};
+  sim::StreamConfig b;
+  b.cpu = 1;
+  b.bank_pattern = {0};
+  const Diagnosis d = diagnose({.banks = 4, .sections = 4, .bank_cycle = 1}, {a, b});
+  EXPECT_EQ(d.regime, RunRegime::cross_cpu_limited);
+}
+
+TEST(Diagnose, SummaryMentionsRegimeAndBandwidth) {
+  const Diagnosis d = diagnose({.banks = 12, .sections = 3, .bank_cycle = 3},
+                               sim::two_streams(0, 1, 1, 1, true));
+  const std::string s = d.summary();
+  EXPECT_NE(s.find("linked-conflict"), std::string::npos);
+  EXPECT_NE(s.find("3/2"), std::string::npos);
+}
+
+TEST(SweepRegimes, Fig8WorkloadOffsetMap) {
+  // The Fig. 8 workload: which offsets fall into the linked conflict?
+  const RegimeSweep sweep = sweep_regimes({.banks = 12, .sections = 3, .bank_cycle = 3}, 1, 1,
+                                          /*same_cpu=*/true);
+  ASSERT_EQ(sweep.by_offset.size(), 12u);
+  const auto linked = sweep.offsets_with(RunRegime::linked_conflict);
+  EXPECT_EQ(linked, (std::vector<i64>{1, 2, 3}));
+  // Every other offset is conflict-free.
+  EXPECT_EQ(sweep.offsets_with(RunRegime::conflict_free).size(), 9u);
+}
+
+TEST(SweepRegimes, ConflictFreePairEverywhere) {
+  const RegimeSweep sweep = sweep_regimes({.banks = 12, .sections = 12, .bank_cycle = 3}, 1, 7);
+  EXPECT_EQ(sweep.offsets_with(RunRegime::conflict_free).size(), 12u);
+}
+
+TEST(Diagnose, ToStringAllRegimes) {
+  EXPECT_EQ(to_string(RunRegime::conflict_free), "conflict-free");
+  EXPECT_EQ(to_string(RunRegime::bank_limited), "bank-limited");
+  EXPECT_EQ(to_string(RunRegime::section_limited), "section-limited");
+  EXPECT_EQ(to_string(RunRegime::linked_conflict), "linked-conflict");
+  EXPECT_EQ(to_string(RunRegime::cross_cpu_limited), "cross-cpu-limited");
+}
+
+}  // namespace
+}  // namespace vpmem::core

@@ -1,0 +1,127 @@
+// End-to-end reproduction of every qualitative claim in Figs. 2-9 of the
+// paper, asserted on exact steady-state bandwidths.  (Fig. 10 is covered
+// by xmp_machine_test and the fig10 bench.)
+#include <gtest/gtest.h>
+
+#include "vpmem/vpmem.hpp"
+
+namespace vpmem {
+namespace {
+
+sim::MemoryConfig flat(i64 m, i64 nc) {
+  return sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc};
+}
+
+TEST(PaperFigures, Fig2ConflictFreeAccess) {
+  // 12-way memory, nc = 3, d1 = 1, d2 = 7: no conflicts, b_eff = 2.
+  const auto ss = sim::find_steady_state(flat(12, 3), sim::two_streams(0, 1, 3, 7));
+  EXPECT_EQ(ss.bandwidth, Rational{2});
+  EXPECT_TRUE(ss.conflict_free());
+  // Theorem 3 predicts it: gcd(12, 6) = 6 >= 2*3.
+  EXPECT_TRUE(analytic::conflict_free_achievable(12, 3, 1, 7));
+}
+
+TEST(PaperFigures, Fig3BarrierSituation) {
+  // 13-way memory, nc = 6, d1 = 1, d2 = 6: stream 1 free, stream 2 at 1/6.
+  const auto ss = sim::find_steady_state(flat(13, 6), sim::two_streams(0, 1, 0, 6));
+  EXPECT_EQ(ss.bandwidth, (Rational{7, 6}));
+  EXPECT_EQ(ss.per_port[0], Rational{1});
+  EXPECT_EQ(ss.per_port[1], (Rational{1, 6}));
+  EXPECT_TRUE(ss.port_conflict_free(0));
+  EXPECT_FALSE(ss.port_conflict_free(1));
+  EXPECT_TRUE(analytic::barrier_possible(13, 6, 1, 6));
+  EXPECT_EQ(analytic::barrier_bandwidth(1, 6), ss.bandwidth);
+}
+
+TEST(PaperFigures, Fig4DoubleConflict) {
+  // Same pair, b2 = 1: the barrier is not reached; mutual delays appear.
+  const auto ss = sim::find_steady_state(flat(13, 6), sim::two_streams(0, 1, 1, 6));
+  EXPECT_LT(ss.bandwidth, (Rational{7, 6}));
+  EXPECT_FALSE(ss.port_conflict_free(0));
+  EXPECT_FALSE(ss.port_conflict_free(1));
+  // Theorem 5's guard indeed fails here: (nc-1)(d2+d1) = 35 >= 13.
+  EXPECT_FALSE(analytic::double_conflict_impossible(13, 6, 1, 6));
+}
+
+TEST(PaperFigures, Fig5BarrierSituation) {
+  // m = 13, nc = 4, d1 = 1, d2 = 3, b1 = 0, b2 = 7: b_eff = 4/3.
+  const auto ss = sim::find_steady_state(flat(13, 4), sim::two_streams(0, 1, 7, 3));
+  EXPECT_EQ(ss.bandwidth, (Rational{4, 3}));
+  EXPECT_EQ(ss.per_port[0], Rational{1});
+  EXPECT_EQ(ss.per_port[1], (Rational{1, 3}));
+  EXPECT_TRUE(analytic::barrier_possible(13, 4, 1, 3));
+  EXPECT_TRUE(analytic::double_conflict_impossible(13, 4, 1, 3));
+}
+
+TEST(PaperFigures, Fig6InvertedBarrier) {
+  // Same pair with b2 = 1: the barrier inverts, stream 2 runs freely and
+  // stream 1 is delayed — hence not a *unique* barrier.
+  const auto ss = sim::find_steady_state(flat(13, 4), sim::two_streams(0, 1, 1, 3));
+  EXPECT_TRUE(ss.port_conflict_free(1));
+  EXPECT_FALSE(ss.port_conflict_free(0));
+  EXPECT_EQ(ss.per_port[1], Rational{1});
+  EXPECT_FALSE(analytic::unique_barrier(13, 4, 1, 3, /*stream1_priority=*/true));
+}
+
+TEST(PaperFigures, Fig7SectionsConflictFree) {
+  // 12-way, 2 sections, nc = 2, d1 = d2 = 1, same CPU, offset (nc+1)*d1=3
+  // (eq. 32, since nc*d1 = 2 is a multiple of s = 2).
+  sim::MemoryConfig cfg{.banks = 12, .sections = 2, .bank_cycle = 2};
+  const auto ss = sim::find_steady_state(cfg, sim::two_streams(0, 1, 3, 1, /*same_cpu=*/true));
+  EXPECT_EQ(ss.bandwidth, Rational{2});
+  EXPECT_TRUE(ss.conflict_free());
+  i64 offset = -1;
+  ASSERT_TRUE(analytic::conflict_free_with_sections(12, 2, 2, 1, 1, &offset));
+  EXPECT_EQ(offset, 3);
+}
+
+TEST(PaperFigures, Fig8aLinkedConflictUnderFixedPriority) {
+  // 12-way, 3 sections, nc = 3, d1 = d2 = 1, starts (0, 1): alternating
+  // bank and section conflicts, b_eff = 3/2.
+  sim::MemoryConfig cfg{.banks = 12, .sections = 3, .bank_cycle = 3};
+  const auto ss = sim::find_steady_state(cfg, sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true));
+  EXPECT_EQ(ss.bandwidth, (Rational{3, 2}));
+  EXPECT_GT(ss.conflicts_in_period.section, 0);
+  EXPECT_GT(ss.conflicts_in_period.bank, 0);
+}
+
+TEST(PaperFigures, Fig8bCyclicPriorityResolvesLinkedConflict) {
+  sim::MemoryConfig cfg{.banks = 12,
+                        .sections = 3,
+                        .bank_cycle = 3,
+                        .priority = sim::PriorityRule::cyclic};
+  const auto ss = sim::find_steady_state(cfg, sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true));
+  EXPECT_EQ(ss.bandwidth, Rational{2});
+}
+
+TEST(PaperFigures, Fig9ConsecutiveSectionsResolveLinkedConflict) {
+  // Cheung & Smith's fix: m/s consecutive banks per section, fixed
+  // priority, same starts -> b_eff = 2.
+  sim::MemoryConfig cfg{.banks = 12,
+                        .sections = 3,
+                        .bank_cycle = 3,
+                        .mapping = sim::SectionMapping::consecutive};
+  const auto ss = sim::find_steady_state(cfg, sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true));
+  EXPECT_EQ(ss.bandwidth, Rational{2});
+}
+
+TEST(PaperFigures, SectionIIIASingleStream) {
+  // b_eff = 1 for r >= nc and r/nc otherwise.
+  EXPECT_EQ(sim::find_steady_state(flat(16, 4), {sim::StreamConfig{.distance = 1}}).bandwidth,
+            Rational{1});
+  EXPECT_EQ(sim::find_steady_state(flat(16, 4), {sim::StreamConfig{.distance = 8}}).bandwidth,
+            (Rational{1, 2}));
+  EXPECT_EQ(sim::find_steady_state(flat(16, 4), {sim::StreamConfig{.distance = 0}}).bandwidth,
+            (Rational{1, 4}));
+}
+
+TEST(PaperFigures, TimelinesMatchPaperNotation) {
+  // Fig. 2's diagram has no conflict markers; Fig. 3's has '<' delays.
+  const std::string fig2 = trace::render_run(flat(12, 3), sim::two_streams(0, 1, 3, 7), 36);
+  EXPECT_EQ(fig2.find('<'), std::string::npos);
+  const std::string fig3 = trace::render_run(flat(13, 6), sim::two_streams(0, 1, 0, 6), 36);
+  EXPECT_NE(fig3.find("1<<<<<222222"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpmem

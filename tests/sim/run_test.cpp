@@ -1,0 +1,67 @@
+#include "vpmem/sim/run.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpmem::sim {
+namespace {
+
+MemoryConfig flat(i64 m, i64 nc) { return MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc}; }
+
+TEST(RunToCompletion, RejectsInfiniteStreams) {
+  EXPECT_THROW(static_cast<void>(run_to_completion(flat(8, 2), {StreamConfig{.distance = 1}})),
+               std::invalid_argument);
+}
+
+TEST(RunToCompletion, SingleStreamTakesExactlyLengthCycles) {
+  const RunResult r = run_to_completion(
+      flat(8, 4), {StreamConfig{.start_bank = 0, .distance = 1, .length = 64}});
+  EXPECT_EQ(r.cycles, 64);
+  EXPECT_EQ(r.total_grants(), 64);
+  EXPECT_DOUBLE_EQ(r.bandwidth(), 1.0);
+  EXPECT_EQ(r.conflicts.total(), 0);
+}
+
+TEST(RunToCompletion, SelfConflictingStreamIsSlower) {
+  // m=8, d=4, nc=4: r=2 < nc -> b_eff = 1/2 in steady state.
+  const RunResult r = run_to_completion(
+      flat(8, 4), {StreamConfig{.start_bank = 0, .distance = 4, .length = 64}});
+  EXPECT_GT(r.cycles, 120);  // ~2 cycles per element
+  EXPECT_EQ(r.total_grants(), 64);
+  EXPECT_GT(r.conflicts.bank, 0);
+}
+
+TEST(RunToCompletion, TwoDisjointStreamsFullBandwidth) {
+  // Theorem 2: m=8, d1=d2=2, b1=0, b2=1 -> disjoint sets, b_eff = 2.
+  auto streams = two_streams(0, 2, 1, 2);
+  streams[0].length = 32;
+  streams[1].length = 32;
+  const RunResult r = run_to_completion(flat(8, 4), streams);
+  EXPECT_EQ(r.cycles, 32);
+  EXPECT_EQ(r.total_grants(), 64);
+  EXPECT_EQ(r.conflicts.total(), 0);
+}
+
+TEST(RunToCompletion, GuardThrows) {
+  EXPECT_THROW(static_cast<void>(run_to_completion(flat(8, 4),
+                                 {StreamConfig{.start_bank = 0, .distance = 1, .length = 100}},
+                                 /*max_cycles=*/10)),
+               std::runtime_error);
+}
+
+TEST(MeasureBandwidth, ValidatesArguments) {
+  EXPECT_THROW(static_cast<void>(measure_bandwidth(flat(8, 2), {StreamConfig{.distance = 1}}, -1, 10)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(measure_bandwidth(flat(8, 2), {StreamConfig{.distance = 1}}, 0, 0)), std::invalid_argument);
+}
+
+TEST(MeasureBandwidth, ConflictFreeSingleStreamIsOne) {
+  const double bw = measure_bandwidth(flat(8, 2), {StreamConfig{.distance = 1}}, 100, 1000);
+  EXPECT_DOUBLE_EQ(bw, 1.0);
+}
+
+TEST(RunResult, EmptyBandwidthIsZero) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.bandwidth(), 0.0);
+}
+
+}  // namespace
+}  // namespace vpmem::sim

@@ -1,0 +1,53 @@
+// Rectangular matrices and padding interplay for the skew module.
+#include <gtest/gtest.h>
+
+#include "vpmem/skew/analysis.hpp"
+
+namespace vpmem::skew {
+namespace {
+
+TEST(Rectangular, DiagonalLengthIsMinExtent) {
+  const MatrixLayout tall{.rows = 12, .cols = 5, .lda = 12};
+  EXPECT_EQ(pattern_length(tall, Pattern::forward_diagonal), 5);
+  EXPECT_EQ(pattern_length(tall, Pattern::backward_diagonal), 5);
+  const MatrixLayout wide{.rows = 5, .cols = 12, .lda = 6};
+  EXPECT_EQ(pattern_length(wide, Pattern::forward_diagonal), 5);
+}
+
+TEST(Rectangular, BackwardDiagonalStaysInBounds) {
+  // cols > rows: the anti-diagonal starts at column cols-1 and walks left.
+  const MatrixLayout wide{.rows = 4, .cols = 9, .lda = 4};
+  const StorageScheme plain{};
+  const auto seq = bank_sequence(plain, wide, Pattern::backward_diagonal, 8);
+  ASSERT_EQ(seq.size(), 4u);
+  for (i64 k = 0; k < 4; ++k) {
+    EXPECT_EQ(seq[static_cast<std::size_t>(k)], plain.bank_of(wide, k, 8 - k, 8));
+  }
+}
+
+TEST(Rectangular, PaddedLdaChangesOnlyInterleavedPatterns) {
+  // The skewed scheme ignores lda entirely (banks depend on (i, j) only),
+  // so padding must not change its distances.
+  const MatrixLayout unpadded{.rows = 8, .cols = 8, .lda = 8};
+  const MatrixLayout padded{.rows = 8, .cols = 8, .lda = 9};
+  const StorageScheme skewed{.kind = SchemeKind::skewed, .skew = 3};
+  const StorageScheme plain{};
+  for (Pattern pattern : all_patterns()) {
+    EXPECT_EQ(pattern_distance(skewed, unpadded, pattern, 16),
+              pattern_distance(skewed, padded, pattern, 16))
+        << to_string(pattern);
+  }
+  EXPECT_NE(pattern_distance(plain, unpadded, Pattern::row, 16),
+            pattern_distance(plain, padded, Pattern::row, 16));
+}
+
+TEST(Rectangular, AnalyzeSchemeOnTallMatrix) {
+  const MatrixLayout tall{.rows = 48, .cols = 8, .lda = 48};
+  const auto reports = analyze_scheme(StorageScheme{}, tall, 16, 4);
+  // lda = 48: row distance 0 (48 mod 16), same pathology as square.
+  EXPECT_EQ(reports[1].distance, 0);
+  EXPECT_FALSE(reports[1].conflict_free);
+}
+
+}  // namespace
+}  // namespace vpmem::skew

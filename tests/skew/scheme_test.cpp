@@ -1,0 +1,106 @@
+#include "vpmem/skew/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpmem::skew {
+namespace {
+
+const MatrixLayout kSquare{.rows = 8, .cols = 8, .lda = 8};
+
+TEST(MatrixLayout, Validation) {
+  EXPECT_NO_THROW(kSquare.validate());
+  EXPECT_THROW((MatrixLayout{.rows = 0, .cols = 8, .lda = 8}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((MatrixLayout{.rows = 8, .cols = 8, .lda = 4}.validate()),
+               std::invalid_argument);
+}
+
+TEST(StorageScheme, InterleavedBankOfIsColumnMajor) {
+  const StorageScheme plain{};
+  // bank = (i + j*lda) mod m.
+  EXPECT_EQ(plain.bank_of(kSquare, 0, 0, 16), 0);
+  EXPECT_EQ(plain.bank_of(kSquare, 3, 0, 16), 3);
+  EXPECT_EQ(plain.bank_of(kSquare, 0, 1, 16), 8);
+  EXPECT_EQ(plain.bank_of(kSquare, 1, 2, 16), 1);  // 17 mod 16
+}
+
+TEST(StorageScheme, SkewedRotatesColumns) {
+  const StorageScheme skewed{.kind = SchemeKind::skewed, .skew = 3};
+  EXPECT_EQ(skewed.bank_of(kSquare, 0, 0, 16), 0);
+  EXPECT_EQ(skewed.bank_of(kSquare, 0, 1, 16), 3);
+  EXPECT_EQ(skewed.bank_of(kSquare, 2, 5, 16), 1);  // 2 + 15 mod 16
+}
+
+TEST(StorageScheme, BankOfValidation) {
+  const StorageScheme plain{};
+  EXPECT_THROW(static_cast<void>(plain.bank_of(kSquare, 8, 0, 16)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(plain.bank_of(kSquare, 0, -1, 16)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(plain.bank_of(kSquare, 0, 0, 0)), std::invalid_argument);
+}
+
+TEST(PatternLength, PerPattern) {
+  const MatrixLayout rect{.rows = 6, .cols = 9, .lda = 7};
+  EXPECT_EQ(pattern_length(rect, Pattern::column), 6);
+  EXPECT_EQ(pattern_length(rect, Pattern::row), 9);
+  EXPECT_EQ(pattern_length(rect, Pattern::forward_diagonal), 6);
+  EXPECT_EQ(pattern_length(rect, Pattern::backward_diagonal), 6);
+}
+
+TEST(BankSequence, MatchesBankOfElementwise) {
+  const StorageScheme skewed{.kind = SchemeKind::skewed, .skew = 5};
+  const i64 m = 16;
+  const auto col = bank_sequence(skewed, kSquare, Pattern::column, m);
+  ASSERT_EQ(col.size(), 8u);
+  for (i64 k = 0; k < 8; ++k) {
+    EXPECT_EQ(col[static_cast<std::size_t>(k)], skewed.bank_of(kSquare, k, 0, m));
+  }
+  const auto diag = bank_sequence(skewed, kSquare, Pattern::forward_diagonal, m);
+  for (i64 k = 0; k < 8; ++k) {
+    EXPECT_EQ(diag[static_cast<std::size_t>(k)], skewed.bank_of(kSquare, k, k, m));
+  }
+  const auto anti = bank_sequence(skewed, kSquare, Pattern::backward_diagonal, m);
+  for (i64 k = 0; k < 8; ++k) {
+    EXPECT_EQ(anti[static_cast<std::size_t>(k)], skewed.bank_of(kSquare, k, 7 - k, m));
+  }
+}
+
+TEST(PatternDistance, MatchesConsecutiveSequenceSteps) {
+  // Every pattern is an affine bank walk; the reported distance must equal
+  // the (constant) consecutive difference of the explicit sequence.
+  const i64 m = 16;
+  for (SchemeKind kind : {SchemeKind::interleaved, SchemeKind::skewed}) {
+    for (i64 delta : {1, 3, 5, 7}) {
+      const StorageScheme scheme{.kind = kind, .skew = delta};
+      for (Pattern pattern : {Pattern::column, Pattern::row, Pattern::forward_diagonal,
+                              Pattern::backward_diagonal}) {
+        const auto seq = bank_sequence(scheme, kSquare, pattern, m);
+        const i64 d = pattern_distance(scheme, kSquare, pattern, m);
+        for (std::size_t k = 1; k < seq.size(); ++k) {
+          EXPECT_EQ(mod_norm(seq[k] - seq[k - 1], m), d)
+              << to_string(kind) << " delta=" << delta << " " << to_string(pattern);
+        }
+      }
+    }
+  }
+}
+
+TEST(PatternDistance, KnownValues) {
+  const StorageScheme plain{};
+  EXPECT_EQ(pattern_distance(plain, kSquare, Pattern::column, 16), 1);
+  EXPECT_EQ(pattern_distance(plain, kSquare, Pattern::row, 16), 8);           // lda
+  EXPECT_EQ(pattern_distance(plain, kSquare, Pattern::forward_diagonal, 16), 9);
+  EXPECT_EQ(pattern_distance(plain, kSquare, Pattern::backward_diagonal, 16), 9);  // 1-8 mod 16
+  const StorageScheme skewed{.kind = SchemeKind::skewed, .skew = 5};
+  EXPECT_EQ(pattern_distance(skewed, kSquare, Pattern::row, 16), 5);
+  EXPECT_EQ(pattern_distance(skewed, kSquare, Pattern::forward_diagonal, 16), 6);
+  EXPECT_EQ(pattern_distance(skewed, kSquare, Pattern::backward_diagonal, 16), 12);  // 1-5 mod 16
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(to_string(SchemeKind::interleaved), "interleaved");
+  EXPECT_EQ(to_string(SchemeKind::skewed), "skewed");
+  EXPECT_EQ(to_string(Pattern::forward_diagonal), "forward-diagonal");
+}
+
+}  // namespace
+}  // namespace vpmem::skew

@@ -1,0 +1,65 @@
+// Golden diagrams: the rendered grids of two stable figures, pinned
+// character by character.  Any engine or renderer change that alters the
+// paper's pictures fails here first.
+#include <gtest/gtest.h>
+
+#include "vpmem/trace/timeline.hpp"
+
+namespace vpmem::trace {
+namespace {
+
+TEST(GoldenFigures, Fig2ConflictFreeGrid) {
+  // m=12, nc=3, d1=1 (stream "1"), d2=7 (stream "2"), b2=3: the paper's
+  // Fig. 2 pattern — every bank serves "111" then "222" back to back,
+  // no idle gaps between the paired services, period 12.
+  sim::MemorySystem mem{{.banks = 12, .sections = 12, .bank_cycle = 3},
+                        sim::two_streams(0, 1, 3, 7)};
+  Timeline tl{mem};
+  mem.run(24, false);
+  const std::vector<std::string> expected{
+      "111222......111222......",
+      ".111......222111......22",
+      "..111222......111222....",
+      "222111......222111......",
+      "....111222......111222..",
+      "..222111......222111....",
+      "......111222......111222",
+      "....222111......222111..",
+      "........111222......1112",
+      "......222111......222111",
+      ".222......111222......11",
+      "........222111......2221",
+  };
+  EXPECT_EQ(tl.grid(0, 24), expected);
+}
+
+TEST(GoldenFigures, Fig9ConsecutiveSectionsGrid) {
+  // m=12, s=3 (consecutive banks per section), nc=3, d1=d2=1, starts
+  // (0,1): after a two-conflict transient the streams settle into the
+  // paper's "111.222" conflict-free cadence.
+  sim::MemoryConfig cfg{.banks = 12,
+                        .sections = 3,
+                        .bank_cycle = 3,
+                        .mapping = sim::SectionMapping::consecutive};
+  sim::MemorySystem mem{cfg, sim::two_streams(0, 1, 1, 1, /*same_cpu=*/true)};
+  Timeline tl{mem};
+  mem.run(24, false);
+  const std::vector<std::string> expected{
+      "111.........111.222.....",
+      "*1<<222......111.222....",
+      "..111222......111.222...",
+      "...111222......111.222..",
+      "....111*222.....111.222.",
+      ".....111.222.....111.222",
+      "......111.222.....111.22",
+      ".......111.222.....111.2",
+      "........111.222.....111.",
+      ".........111.222.....111",
+      "..........111.222.....11",
+      "...........111.222.....1",
+  };
+  EXPECT_EQ(tl.grid(0, 24), expected);
+}
+
+}  // namespace
+}  // namespace vpmem::trace

@@ -1,0 +1,52 @@
+#include "vpmem/util/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpmem {
+namespace {
+
+TEST(BarChart, ScalesToMaximum) {
+  BarChart chart{"", 10};
+  chart.add("a", 10.0);
+  chart.add("b", 5.0);
+  chart.add("c", 0.0);
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a |##########| 10"), std::string::npos);
+  EXPECT_NE(out.find("b |#####     | 5"), std::string::npos);
+  EXPECT_NE(out.find("c |          | 0"), std::string::npos);
+}
+
+TEST(BarChart, TitleAndLabelAlignment) {
+  BarChart chart{"Fig. 10(a)", 4};
+  chart.add("INC=1", 1.0);
+  chart.add("2", 2.0);
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("Fig. 10(a)\n", 0), 0u);
+  // Labels right-aligned to the widest.
+  EXPECT_NE(out.find("INC=1 |"), std::string::npos);
+  EXPECT_NE(out.find("    2 |"), std::string::npos);
+}
+
+TEST(BarChart, AllZerosRendersEmptyBars) {
+  BarChart chart{"", 6};
+  chart.add("x", 0.0);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("x |      | 0"), std::string::npos);
+}
+
+TEST(BarChart, Validation) {
+  EXPECT_THROW(BarChart("", 0), std::invalid_argument);
+  BarChart chart;
+  EXPECT_THROW(chart.add("neg", -1.0), std::invalid_argument);
+  EXPECT_EQ(chart.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vpmem

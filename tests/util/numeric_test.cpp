@@ -1,0 +1,112 @@
+#include "vpmem/util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vpmem {
+namespace {
+
+TEST(Gcd, BasicValues) {
+  EXPECT_EQ(gcd(12, 8), 4);
+  EXPECT_EQ(gcd(8, 12), 4);
+  EXPECT_EQ(gcd(13, 6), 1);
+  EXPECT_EQ(gcd(0, 0), 0);
+}
+
+TEST(Gcd, ZeroConvention) {
+  // The paper uses gcd(m, 0) = m right after Theorem 3.
+  EXPECT_EQ(gcd(16, 0), 16);
+  EXPECT_EQ(gcd(0, 16), 16);
+}
+
+TEST(Gcd, ThreeArgsIsPaperF) {
+  EXPECT_EQ(gcd(12, 4, 6), 2);
+  EXPECT_EQ(gcd(12, 3, 5), 1);
+  EXPECT_EQ(gcd(16, 8, 12), 4);
+}
+
+TEST(Lcm, BasicValues) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(1, 9), 9);
+  EXPECT_EQ(lcm(0, 5), 0);
+}
+
+TEST(Egcd, ProducesBezoutIdentity) {
+  for (i64 a = -20; a <= 20; ++a) {
+    for (i64 b = -20; b <= 20; ++b) {
+      const Egcd e = egcd(a, b);
+      EXPECT_EQ(e.g, std::gcd(a, b)) << a << "," << b;
+      EXPECT_EQ(a * e.x + b * e.y, e.g) << a << "," << b;
+    }
+  }
+}
+
+TEST(ModNorm, CanonicalRange) {
+  EXPECT_EQ(mod_norm(7, 5), 2);
+  EXPECT_EQ(mod_norm(-1, 5), 4);
+  EXPECT_EQ(mod_norm(-10, 5), 0);
+  EXPECT_EQ(mod_norm(0, 1), 0);
+}
+
+TEST(ModNorm, RejectsNonPositiveModulus) {
+  EXPECT_THROW(static_cast<void>(mod_norm(1, 0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mod_norm(1, -3)), std::invalid_argument);
+}
+
+TEST(ModInverse, InverseProperty) {
+  for (i64 m : {2, 5, 12, 13, 16, 97}) {
+    for (i64 a = 1; a < m; ++a) {
+      if (!coprime(a, m)) continue;
+      const i64 inv = mod_inverse(a, m);
+      EXPECT_EQ(mod_norm(a * inv, m), 1) << a << " mod " << m;
+      EXPECT_GE(inv, 0);
+      EXPECT_LT(inv, m);
+    }
+  }
+}
+
+TEST(ModInverse, RejectsNonCoprime) {
+  EXPECT_THROW(static_cast<void>(mod_inverse(4, 12)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mod_inverse(0, 7)), std::invalid_argument);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 64), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+}
+
+TEST(CeilDiv, RejectsNonPositiveDivisor) {
+  EXPECT_THROW(static_cast<void>(ceil_div(4, 0)), std::invalid_argument);
+}
+
+TEST(Divides, Basics) {
+  EXPECT_TRUE(divides(4, 12));
+  EXPECT_FALSE(divides(5, 12));
+  EXPECT_FALSE(divides(0, 12));
+  EXPECT_TRUE(divides(12, 0));
+}
+
+TEST(Divisors, KnownSets) {
+  EXPECT_EQ(divisors(1), (std::vector<i64>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<i64>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(13), (std::vector<i64>{1, 13}));
+  EXPECT_EQ(divisors(16), (std::vector<i64>{1, 2, 4, 8, 16}));
+}
+
+TEST(Divisors, EveryElementDivides) {
+  for (i64 n : {6, 36, 100, 97}) {
+    for (i64 d : divisors(n)) EXPECT_EQ(n % d, 0);
+  }
+}
+
+TEST(Divisors, RejectsNonPositive) {
+  EXPECT_THROW(static_cast<void>(divisors(0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(divisors(-4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpmem

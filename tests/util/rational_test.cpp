@@ -1,0 +1,106 @@
+#include "vpmem/util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpmem {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r{6, 4};
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSign) {
+  Rational r{3, -6};
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  Rational s{-3, -6};
+  EXPECT_EQ(s.num(), 1);
+  EXPECT_EQ(s.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(static_cast<void>((Rational{1, 0})), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a{1, 6};
+  const Rational b{1, 3};
+  EXPECT_EQ(a + b, (Rational{1, 2}));
+  EXPECT_EQ(b - a, (Rational{1, 6}));
+  EXPECT_EQ(a * b, (Rational{1, 18}));
+  EXPECT_EQ(a / b, (Rational{1, 2}));
+  EXPECT_EQ(-a, (Rational{-1, 6}));
+}
+
+TEST(Rational, BarrierBandwidthExample) {
+  // Eq. 29 with d1 = 1, d2 = 6 (Fig. 3): b_eff = 1 + 1/6 = 7/6.
+  EXPECT_EQ(Rational{1} + Rational(1, 6), (Rational{7, 6}));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r{1, 2};
+  r += Rational{1, 3};
+  EXPECT_EQ(r, (Rational{5, 6}));
+  r -= Rational{1, 6};
+  EXPECT_EQ(r, (Rational{2, 3}));
+  r *= Rational{3, 2};
+  EXPECT_EQ(r, Rational{1});
+  r /= Rational{1, 4};
+  EXPECT_EQ(r, Rational{4});
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(static_cast<void>(Rational{1} / Rational{0}), std::domain_error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT((Rational{1, 3}), (Rational{1, 2}));
+  EXPECT_GT((Rational{7, 6}), Rational{1});
+  EXPECT_LE((Rational{2, 4}), (Rational{1, 2}));
+  EXPECT_LT((Rational{-1, 2}), (Rational{1, 3}));
+}
+
+TEST(Rational, ImplicitFromInteger) {
+  Rational r = 3;
+  EXPECT_EQ(r, (Rational{3, 1}));
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ((Rational{3, 2}).to_double(), 1.5);
+  EXPECT_DOUBLE_EQ((Rational{-1, 4}).to_double(), -0.25);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ((Rational{7, 6}).str(), "7/6");
+  EXPECT_EQ(Rational{2}.str(), "2");
+  EXPECT_EQ((Rational{-3, 9}).str(), "-1/3");
+}
+
+TEST(Rational, StreamOutput) {
+  std::ostringstream os;
+  os << Rational{3, 2};
+  EXPECT_EQ(os.str(), "3/2");
+}
+
+TEST(Rational, ExactnessOverManyOps) {
+  // Sum of 1/k(k+1) telescopes to 1 - 1/(n+1); exact arithmetic must hit it.
+  Rational sum{0};
+  const i64 n = 50;
+  for (i64 k = 1; k <= n; ++k) sum += Rational{1, k * (k + 1)};
+  EXPECT_EQ(sum, (Rational{n, n + 1}));
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,77 @@
+#include "vpmem/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpmem {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(static_cast<void>(Table({})), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(static_cast<void>(t.add_row({"1"})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(t.add_row({"1", "2", "3"})), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t{{"INC", "cycles"}};
+  t.add_row({"1", "596"});
+  t.add_row({"16", "4096"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("INC"), std::string::npos);
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("4096"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted) {
+  Table t{{"x"}, "Fig. 10"};
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Fig. 10", 0), 0u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t{{"name"}};
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, RowAccess) {
+  Table t{{"a"}};
+  t.add_row({"x"});
+  EXPECT_EQ(t.row(0).at(0), "x");
+  EXPECT_THROW(static_cast<void>(t.row(1)), std::out_of_range);
+}
+
+TEST(Cell, Formats) {
+  EXPECT_EQ(cell("abc"), "abc");
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(cell(1.5, 2), "1.50");
+  EXPECT_EQ(cell(0.33333333, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace vpmem
