@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_array_spacing"
+  "../bench/ablate_array_spacing.pdb"
+  "CMakeFiles/ablate_array_spacing.dir/ablate_array_spacing.cpp.o"
+  "CMakeFiles/ablate_array_spacing.dir/ablate_array_spacing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_array_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

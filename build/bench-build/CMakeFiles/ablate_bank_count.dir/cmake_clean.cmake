@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_bank_count"
+  "../bench/ablate_bank_count.pdb"
+  "CMakeFiles/ablate_bank_count.dir/ablate_bank_count.cpp.o"
+  "CMakeFiles/ablate_bank_count.dir/ablate_bank_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bank_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_bank_cycle"
+  "../bench/ablate_bank_cycle.pdb"
+  "CMakeFiles/ablate_bank_cycle.dir/ablate_bank_cycle.cpp.o"
+  "CMakeFiles/ablate_bank_cycle.dir/ablate_bank_cycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bank_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

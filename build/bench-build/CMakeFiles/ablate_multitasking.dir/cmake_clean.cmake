@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_multitasking"
+  "../bench/ablate_multitasking.pdb"
+  "CMakeFiles/ablate_multitasking.dir/ablate_multitasking.cpp.o"
+  "CMakeFiles/ablate_multitasking.dir/ablate_multitasking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multitasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_priority"
+  "../bench/ablate_priority.pdb"
+  "CMakeFiles/ablate_priority.dir/ablate_priority.cpp.o"
+  "CMakeFiles/ablate_priority.dir/ablate_priority.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_section_mapping"
+  "../bench/ablate_section_mapping.pdb"
+  "CMakeFiles/ablate_section_mapping.dir/ablate_section_mapping.cpp.o"
+  "CMakeFiles/ablate_section_mapping.dir/ablate_section_mapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_section_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_skewing"
+  "../bench/ablate_skewing.pdb"
+  "CMakeFiles/ablate_skewing.dir/ablate_skewing.cpp.o"
+  "CMakeFiles/ablate_skewing.dir/ablate_skewing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_skewing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

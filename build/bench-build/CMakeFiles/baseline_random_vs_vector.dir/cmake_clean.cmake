@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_random_vs_vector"
+  "../bench/baseline_random_vs_vector.pdb"
+  "CMakeFiles/baseline_random_vs_vector.dir/baseline_random_vs_vector.cpp.o"
+  "CMakeFiles/baseline_random_vs_vector.dir/baseline_random_vs_vector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_random_vs_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_random_vs_vector.
+# This may be replaced when dependencies are built.

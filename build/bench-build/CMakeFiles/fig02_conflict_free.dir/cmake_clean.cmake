@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_conflict_free"
+  "../bench/fig02_conflict_free.pdb"
+  "CMakeFiles/fig02_conflict_free.dir/fig02_conflict_free.cpp.o"
+  "CMakeFiles/fig02_conflict_free.dir/fig02_conflict_free.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_conflict_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_barrier"
+  "../bench/fig03_barrier.pdb"
+  "CMakeFiles/fig03_barrier.dir/fig03_barrier.cpp.o"
+  "CMakeFiles/fig03_barrier.dir/fig03_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_double_conflict"
+  "../bench/fig04_double_conflict.pdb"
+  "CMakeFiles/fig04_double_conflict.dir/fig04_double_conflict.cpp.o"
+  "CMakeFiles/fig04_double_conflict.dir/fig04_double_conflict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_double_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

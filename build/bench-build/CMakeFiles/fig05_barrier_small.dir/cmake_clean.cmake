@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_barrier_small"
+  "../bench/fig05_barrier_small.pdb"
+  "CMakeFiles/fig05_barrier_small.dir/fig05_barrier_small.cpp.o"
+  "CMakeFiles/fig05_barrier_small.dir/fig05_barrier_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_barrier_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_inverted_barrier"
+  "../bench/fig06_inverted_barrier.pdb"
+  "CMakeFiles/fig06_inverted_barrier.dir/fig06_inverted_barrier.cpp.o"
+  "CMakeFiles/fig06_inverted_barrier.dir/fig06_inverted_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_inverted_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

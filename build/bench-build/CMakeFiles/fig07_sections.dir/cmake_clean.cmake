@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_sections"
+  "../bench/fig07_sections.pdb"
+  "CMakeFiles/fig07_sections.dir/fig07_sections.cpp.o"
+  "CMakeFiles/fig07_sections.dir/fig07_sections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_linked_conflict"
+  "../bench/fig08_linked_conflict.pdb"
+  "CMakeFiles/fig08_linked_conflict.dir/fig08_linked_conflict.cpp.o"
+  "CMakeFiles/fig08_linked_conflict.dir/fig08_linked_conflict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_linked_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

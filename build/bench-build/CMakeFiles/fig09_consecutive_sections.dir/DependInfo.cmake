@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_consecutive_sections.cpp" "bench-build/CMakeFiles/fig09_consecutive_sections.dir/fig09_consecutive_sections.cpp.o" "gcc" "bench-build/CMakeFiles/fig09_consecutive_sections.dir/fig09_consecutive_sections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vpmem_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmp/CMakeFiles/vpmem_xmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/skew/CMakeFiles/vpmem_skew.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/vpmem_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vpmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_consecutive_sections"
+  "../bench/fig09_consecutive_sections.pdb"
+  "CMakeFiles/fig09_consecutive_sections.dir/fig09_consecutive_sections.cpp.o"
+  "CMakeFiles/fig09_consecutive_sections.dir/fig09_consecutive_sections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_consecutive_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_xmp_triad"
+  "../bench/fig10_xmp_triad.pdb"
+  "CMakeFiles/fig10_xmp_triad.dir/fig10_xmp_triad.cpp.o"
+  "CMakeFiles/fig10_xmp_triad.dir/fig10_xmp_triad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xmp_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

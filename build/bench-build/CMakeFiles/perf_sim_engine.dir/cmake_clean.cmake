@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_sim_engine"
+  "../bench/perf_sim_engine.pdb"
+  "CMakeFiles/perf_sim_engine.dir/perf_sim_engine.cpp.o"
+  "CMakeFiles/perf_sim_engine.dir/perf_sim_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

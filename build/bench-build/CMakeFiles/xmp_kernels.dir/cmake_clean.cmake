@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/xmp_kernels"
+  "../bench/xmp_kernels.pdb"
+  "CMakeFiles/xmp_kernels.dir/xmp_kernels.cpp.o"
+  "CMakeFiles/xmp_kernels.dir/xmp_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_stream.dir/multi_stream.cpp.o"
+  "CMakeFiles/multi_stream.dir/multi_stream.cpp.o.d"
+  "multi_stream"
+  "multi_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewing_demo.dir/skewing_demo.cpp.o"
+  "CMakeFiles/skewing_demo.dir/skewing_demo.cpp.o.d"
+  "skewing_demo"
+  "skewing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

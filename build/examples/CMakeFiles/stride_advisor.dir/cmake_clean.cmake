@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_advisor.dir/stride_advisor.cpp.o"
+  "CMakeFiles/stride_advisor.dir/stride_advisor.cpp.o.d"
+  "stride_advisor"
+  "stride_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

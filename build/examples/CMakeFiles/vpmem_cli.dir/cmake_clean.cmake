@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_cli.dir/vpmem_cli.cpp.o"
+  "CMakeFiles/vpmem_cli.dir/vpmem_cli.cpp.o.d"
+  "vpmem_cli"
+  "vpmem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

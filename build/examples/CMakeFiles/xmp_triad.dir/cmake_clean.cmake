@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_triad.dir/xmp_triad.cpp.o"
+  "CMakeFiles/xmp_triad.dir/xmp_triad.cpp.o.d"
+  "xmp_triad"
+  "xmp_triad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

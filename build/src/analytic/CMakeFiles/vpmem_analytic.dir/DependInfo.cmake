@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/src/classify.cpp" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/classify.cpp.o" "gcc" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/classify.cpp.o.d"
+  "/root/repo/src/analytic/src/fortran.cpp" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/fortran.cpp.o" "gcc" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/fortran.cpp.o.d"
+  "/root/repo/src/analytic/src/isomorphism.cpp" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/isomorphism.cpp.o" "gcc" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/isomorphism.cpp.o.d"
+  "/root/repo/src/analytic/src/stream.cpp" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/stream.cpp.o" "gcc" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/stream.cpp.o.d"
+  "/root/repo/src/analytic/src/theorems.cpp" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/theorems.cpp.o" "gcc" "src/analytic/CMakeFiles/vpmem_analytic.dir/src/theorems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

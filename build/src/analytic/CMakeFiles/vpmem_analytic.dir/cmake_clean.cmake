@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_analytic.dir/src/classify.cpp.o"
+  "CMakeFiles/vpmem_analytic.dir/src/classify.cpp.o.d"
+  "CMakeFiles/vpmem_analytic.dir/src/fortran.cpp.o"
+  "CMakeFiles/vpmem_analytic.dir/src/fortran.cpp.o.d"
+  "CMakeFiles/vpmem_analytic.dir/src/isomorphism.cpp.o"
+  "CMakeFiles/vpmem_analytic.dir/src/isomorphism.cpp.o.d"
+  "CMakeFiles/vpmem_analytic.dir/src/stream.cpp.o"
+  "CMakeFiles/vpmem_analytic.dir/src/stream.cpp.o.d"
+  "CMakeFiles/vpmem_analytic.dir/src/theorems.cpp.o"
+  "CMakeFiles/vpmem_analytic.dir/src/theorems.cpp.o.d"
+  "libvpmem_analytic.a"
+  "libvpmem_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

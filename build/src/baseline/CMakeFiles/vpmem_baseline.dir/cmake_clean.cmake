@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_baseline.dir/src/random_traffic.cpp.o"
+  "CMakeFiles/vpmem_baseline.dir/src/random_traffic.cpp.o.d"
+  "libvpmem_baseline.a"
+  "libvpmem_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

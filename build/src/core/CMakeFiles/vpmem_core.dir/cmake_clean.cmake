@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_core.dir/src/advisor.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/advisor.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/bandwidth.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/bandwidth.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/diagnose.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/diagnose.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/group.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/group.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/layout.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/layout.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/sweep.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/sweep.cpp.o.d"
+  "CMakeFiles/vpmem_core.dir/src/triad_experiment.cpp.o"
+  "CMakeFiles/vpmem_core.dir/src/triad_experiment.cpp.o.d"
+  "libvpmem_core.a"
+  "libvpmem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/config.cpp" "src/sim/CMakeFiles/vpmem_sim.dir/src/config.cpp.o" "gcc" "src/sim/CMakeFiles/vpmem_sim.dir/src/config.cpp.o.d"
+  "/root/repo/src/sim/src/event.cpp" "src/sim/CMakeFiles/vpmem_sim.dir/src/event.cpp.o" "gcc" "src/sim/CMakeFiles/vpmem_sim.dir/src/event.cpp.o.d"
+  "/root/repo/src/sim/src/memory_system.cpp" "src/sim/CMakeFiles/vpmem_sim.dir/src/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/vpmem_sim.dir/src/memory_system.cpp.o.d"
+  "/root/repo/src/sim/src/run.cpp" "src/sim/CMakeFiles/vpmem_sim.dir/src/run.cpp.o" "gcc" "src/sim/CMakeFiles/vpmem_sim.dir/src/run.cpp.o.d"
+  "/root/repo/src/sim/src/steady_state.cpp" "src/sim/CMakeFiles/vpmem_sim.dir/src/steady_state.cpp.o" "gcc" "src/sim/CMakeFiles/vpmem_sim.dir/src/steady_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

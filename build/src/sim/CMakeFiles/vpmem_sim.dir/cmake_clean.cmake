@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_sim.dir/src/config.cpp.o"
+  "CMakeFiles/vpmem_sim.dir/src/config.cpp.o.d"
+  "CMakeFiles/vpmem_sim.dir/src/event.cpp.o"
+  "CMakeFiles/vpmem_sim.dir/src/event.cpp.o.d"
+  "CMakeFiles/vpmem_sim.dir/src/memory_system.cpp.o"
+  "CMakeFiles/vpmem_sim.dir/src/memory_system.cpp.o.d"
+  "CMakeFiles/vpmem_sim.dir/src/run.cpp.o"
+  "CMakeFiles/vpmem_sim.dir/src/run.cpp.o.d"
+  "CMakeFiles/vpmem_sim.dir/src/steady_state.cpp.o"
+  "CMakeFiles/vpmem_sim.dir/src/steady_state.cpp.o.d"
+  "libvpmem_sim.a"
+  "libvpmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

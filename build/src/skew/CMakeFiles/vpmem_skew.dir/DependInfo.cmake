@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skew/src/analysis.cpp" "src/skew/CMakeFiles/vpmem_skew.dir/src/analysis.cpp.o" "gcc" "src/skew/CMakeFiles/vpmem_skew.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/skew/src/scheme.cpp" "src/skew/CMakeFiles/vpmem_skew.dir/src/scheme.cpp.o" "gcc" "src/skew/CMakeFiles/vpmem_skew.dir/src/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/vpmem_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

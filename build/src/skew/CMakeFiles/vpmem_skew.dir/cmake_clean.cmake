@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_skew.dir/src/analysis.cpp.o"
+  "CMakeFiles/vpmem_skew.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/vpmem_skew.dir/src/scheme.cpp.o"
+  "CMakeFiles/vpmem_skew.dir/src/scheme.cpp.o.d"
+  "libvpmem_skew.a"
+  "libvpmem_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_trace.dir/src/timeline.cpp.o"
+  "CMakeFiles/vpmem_trace.dir/src/timeline.cpp.o.d"
+  "libvpmem_trace.a"
+  "libvpmem_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/chart.cpp" "src/util/CMakeFiles/vpmem_util.dir/src/chart.cpp.o" "gcc" "src/util/CMakeFiles/vpmem_util.dir/src/chart.cpp.o.d"
+  "/root/repo/src/util/src/numeric.cpp" "src/util/CMakeFiles/vpmem_util.dir/src/numeric.cpp.o" "gcc" "src/util/CMakeFiles/vpmem_util.dir/src/numeric.cpp.o.d"
+  "/root/repo/src/util/src/rational.cpp" "src/util/CMakeFiles/vpmem_util.dir/src/rational.cpp.o" "gcc" "src/util/CMakeFiles/vpmem_util.dir/src/rational.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/vpmem_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/vpmem_util.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_util.dir/src/chart.cpp.o"
+  "CMakeFiles/vpmem_util.dir/src/chart.cpp.o.d"
+  "CMakeFiles/vpmem_util.dir/src/numeric.cpp.o"
+  "CMakeFiles/vpmem_util.dir/src/numeric.cpp.o.d"
+  "CMakeFiles/vpmem_util.dir/src/rational.cpp.o"
+  "CMakeFiles/vpmem_util.dir/src/rational.cpp.o.d"
+  "CMakeFiles/vpmem_util.dir/src/table.cpp.o"
+  "CMakeFiles/vpmem_util.dir/src/table.cpp.o.d"
+  "libvpmem_util.a"
+  "libvpmem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmp/src/kernels.cpp" "src/xmp/CMakeFiles/vpmem_xmp.dir/src/kernels.cpp.o" "gcc" "src/xmp/CMakeFiles/vpmem_xmp.dir/src/kernels.cpp.o.d"
+  "/root/repo/src/xmp/src/machine.cpp" "src/xmp/CMakeFiles/vpmem_xmp.dir/src/machine.cpp.o" "gcc" "src/xmp/CMakeFiles/vpmem_xmp.dir/src/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vpmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

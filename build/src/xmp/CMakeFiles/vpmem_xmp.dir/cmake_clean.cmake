@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpmem_xmp.dir/src/kernels.cpp.o"
+  "CMakeFiles/vpmem_xmp.dir/src/kernels.cpp.o.d"
+  "CMakeFiles/vpmem_xmp.dir/src/machine.cpp.o"
+  "CMakeFiles/vpmem_xmp.dir/src/machine.cpp.o.d"
+  "libvpmem_xmp.a"
+  "libvpmem_xmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpmem_xmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vpmem_xmp.
+# This may be replaced when dependencies are built.

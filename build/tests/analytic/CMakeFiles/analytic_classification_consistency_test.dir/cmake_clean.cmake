@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_classification_consistency_test.dir/classification_consistency_test.cpp.o"
+  "CMakeFiles/analytic_classification_consistency_test.dir/classification_consistency_test.cpp.o.d"
+  "analytic_classification_consistency_test"
+  "analytic_classification_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_classification_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_classify_test.dir/classify_test.cpp.o"
+  "CMakeFiles/analytic_classify_test.dir/classify_test.cpp.o.d"
+  "analytic_classify_test"
+  "analytic_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_fortran_test.dir/fortran_test.cpp.o"
+  "CMakeFiles/analytic_fortran_test.dir/fortran_test.cpp.o.d"
+  "analytic_fortran_test"
+  "analytic_fortran_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_fortran_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

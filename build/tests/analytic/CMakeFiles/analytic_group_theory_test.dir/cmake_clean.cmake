@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_group_theory_test.dir/group_theory_test.cpp.o"
+  "CMakeFiles/analytic_group_theory_test.dir/group_theory_test.cpp.o.d"
+  "analytic_group_theory_test"
+  "analytic_group_theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_group_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

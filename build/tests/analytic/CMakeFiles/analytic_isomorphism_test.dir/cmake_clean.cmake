@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_isomorphism_test.dir/isomorphism_test.cpp.o"
+  "CMakeFiles/analytic_isomorphism_test.dir/isomorphism_test.cpp.o.d"
+  "analytic_isomorphism_test"
+  "analytic_isomorphism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_isomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

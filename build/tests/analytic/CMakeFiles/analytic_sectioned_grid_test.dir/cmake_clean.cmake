@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_sectioned_grid_test.dir/sectioned_grid_test.cpp.o"
+  "CMakeFiles/analytic_sectioned_grid_test.dir/sectioned_grid_test.cpp.o.d"
+  "analytic_sectioned_grid_test"
+  "analytic_sectioned_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_sectioned_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_stream_test.dir/stream_test.cpp.o"
+  "CMakeFiles/analytic_stream_test.dir/stream_test.cpp.o.d"
+  "analytic_stream_test"
+  "analytic_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_theorems_test.dir/theorems_test.cpp.o"
+  "CMakeFiles/analytic_theorems_test.dir/theorems_test.cpp.o.d"
+  "analytic_theorems_test"
+  "analytic_theorems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/analytic
+# Build directory: /root/repo/build/tests/analytic
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(analytic_stream_test "/root/repo/build/tests/analytic/analytic_stream_test")
+set_tests_properties(analytic_stream_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;1;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_theorems_test "/root/repo/build/tests/analytic/analytic_theorems_test")
+set_tests_properties(analytic_theorems_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;2;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_isomorphism_test "/root/repo/build/tests/analytic/analytic_isomorphism_test")
+set_tests_properties(analytic_isomorphism_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;3;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_classify_test "/root/repo/build/tests/analytic/analytic_classify_test")
+set_tests_properties(analytic_classify_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;4;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_fortran_test "/root/repo/build/tests/analytic/analytic_fortran_test")
+set_tests_properties(analytic_fortran_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;5;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_property_test "/root/repo/build/tests/analytic/analytic_property_test")
+set_tests_properties(analytic_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;6;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_group_theory_test "/root/repo/build/tests/analytic/analytic_group_theory_test")
+set_tests_properties(analytic_group_theory_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;7;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_classification_consistency_test "/root/repo/build/tests/analytic/analytic_classification_consistency_test")
+set_tests_properties(analytic_classification_consistency_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;8;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")
+add_test(analytic_sectioned_grid_test "/root/repo/build/tests/analytic/analytic_sectioned_grid_test")
+set_tests_properties(analytic_sectioned_grid_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/analytic/CMakeLists.txt;9;vpmem_test;/root/repo/tests/analytic/CMakeLists.txt;0;")

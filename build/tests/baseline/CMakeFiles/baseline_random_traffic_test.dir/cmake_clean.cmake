@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_random_traffic_test.dir/random_traffic_test.cpp.o"
+  "CMakeFiles/baseline_random_traffic_test.dir/random_traffic_test.cpp.o.d"
+  "baseline_random_traffic_test"
+  "baseline_random_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_random_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

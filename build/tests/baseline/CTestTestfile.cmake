@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baseline
+# Build directory: /root/repo/build/tests/baseline
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baseline_random_traffic_test "/root/repo/build/tests/baseline/baseline_random_traffic_test")
+set_tests_properties(baseline_random_traffic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/baseline/CMakeLists.txt;1;vpmem_test;/root/repo/tests/baseline/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_advisor_test.dir/advisor_test.cpp.o"
+  "CMakeFiles/core_advisor_test.dir/advisor_test.cpp.o.d"
+  "core_advisor_test"
+  "core_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bandwidth_test.dir/bandwidth_test.cpp.o"
+  "CMakeFiles/core_bandwidth_test.dir/bandwidth_test.cpp.o.d"
+  "core_bandwidth_test"
+  "core_bandwidth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

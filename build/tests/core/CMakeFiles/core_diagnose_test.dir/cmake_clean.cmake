@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_diagnose_test.dir/diagnose_test.cpp.o"
+  "CMakeFiles/core_diagnose_test.dir/diagnose_test.cpp.o.d"
+  "core_diagnose_test"
+  "core_diagnose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_diagnose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

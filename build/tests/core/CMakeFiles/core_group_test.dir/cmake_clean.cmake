@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_group_test.dir/group_test.cpp.o"
+  "CMakeFiles/core_group_test.dir/group_test.cpp.o.d"
+  "core_group_test"
+  "core_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

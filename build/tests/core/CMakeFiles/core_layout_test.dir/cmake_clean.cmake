@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_layout_test.dir/layout_test.cpp.o"
+  "CMakeFiles/core_layout_test.dir/layout_test.cpp.o.d"
+  "core_layout_test"
+  "core_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_triad_experiment_test.dir/triad_experiment_test.cpp.o"
+  "CMakeFiles/core_triad_experiment_test.dir/triad_experiment_test.cpp.o.d"
+  "core_triad_experiment_test"
+  "core_triad_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_triad_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

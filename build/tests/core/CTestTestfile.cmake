@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_bandwidth_test "/root/repo/build/tests/core/core_bandwidth_test")
+set_tests_properties(core_bandwidth_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;1;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_sweep_test "/root/repo/build/tests/core/core_sweep_test")
+set_tests_properties(core_sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;2;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_advisor_test "/root/repo/build/tests/core/core_advisor_test")
+set_tests_properties(core_advisor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;3;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_triad_experiment_test "/root/repo/build/tests/core/core_triad_experiment_test")
+set_tests_properties(core_triad_experiment_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;4;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_group_test "/root/repo/build/tests/core/core_group_test")
+set_tests_properties(core_group_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;5;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_layout_test "/root/repo/build/tests/core/core_layout_test")
+set_tests_properties(core_layout_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;6;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")
+add_test(core_diagnose_test "/root/repo/build/tests/core/core_diagnose_test")
+set_tests_properties(core_diagnose_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/core/CMakeLists.txt;7;vpmem_test;/root/repo/tests/core/CMakeLists.txt;0;")

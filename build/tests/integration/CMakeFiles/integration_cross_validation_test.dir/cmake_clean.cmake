@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cross_validation_test.dir/cross_validation_test.cpp.o"
+  "CMakeFiles/integration_cross_validation_test.dir/cross_validation_test.cpp.o.d"
+  "integration_cross_validation_test"
+  "integration_cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fig1_architecture_test.dir/fig1_architecture_test.cpp.o"
+  "CMakeFiles/integration_fig1_architecture_test.dir/fig1_architecture_test.cpp.o.d"
+  "integration_fig1_architecture_test"
+  "integration_fig1_architecture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fig1_architecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(integration_paper_figures_test "/root/repo/build/tests/integration/integration_paper_figures_test")
+set_tests_properties(integration_paper_figures_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;1;vpmem_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_fig1_architecture_test "/root/repo/build/tests/integration/integration_fig1_architecture_test")
+set_tests_properties(integration_fig1_architecture_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;2;vpmem_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_cross_validation_test "/root/repo/build/tests/integration/integration_cross_validation_test")
+set_tests_properties(integration_cross_validation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/integration/CMakeLists.txt;3;vpmem_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_config_test.dir/config_test.cpp.o"
+  "CMakeFiles/sim_config_test.dir/config_test.cpp.o.d"
+  "sim_config_test"
+  "sim_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

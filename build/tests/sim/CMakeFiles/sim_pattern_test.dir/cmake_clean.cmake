@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pattern_test.dir/pattern_test.cpp.o"
+  "CMakeFiles/sim_pattern_test.dir/pattern_test.cpp.o.d"
+  "sim_pattern_test"
+  "sim_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

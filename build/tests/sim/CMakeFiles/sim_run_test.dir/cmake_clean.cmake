@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_run_test.dir/run_test.cpp.o"
+  "CMakeFiles/sim_run_test.dir/run_test.cpp.o.d"
+  "sim_run_test"
+  "sim_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

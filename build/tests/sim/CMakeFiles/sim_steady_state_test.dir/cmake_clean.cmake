@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_steady_state_test.dir/steady_state_test.cpp.o"
+  "CMakeFiles/sim_steady_state_test.dir/steady_state_test.cpp.o.d"
+  "sim_steady_state_test"
+  "sim_steady_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_steady_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

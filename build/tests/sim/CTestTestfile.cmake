@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sim_config_test "/root/repo/build/tests/sim/sim_config_test")
+set_tests_properties(sim_config_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/sim/CMakeLists.txt;1;vpmem_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_memory_system_test "/root/repo/build/tests/sim/sim_memory_system_test")
+set_tests_properties(sim_memory_system_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/sim/CMakeLists.txt;2;vpmem_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_steady_state_test "/root/repo/build/tests/sim/sim_steady_state_test")
+set_tests_properties(sim_steady_state_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/sim/CMakeLists.txt;3;vpmem_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_run_test "/root/repo/build/tests/sim/sim_run_test")
+set_tests_properties(sim_run_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/sim/CMakeLists.txt;4;vpmem_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sim_pattern_test "/root/repo/build/tests/sim/sim_pattern_test")
+set_tests_properties(sim_pattern_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/sim/CMakeLists.txt;5;vpmem_test;/root/repo/tests/sim/CMakeLists.txt;0;")

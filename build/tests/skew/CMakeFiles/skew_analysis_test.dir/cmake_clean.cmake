@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_analysis_test.dir/analysis_test.cpp.o"
+  "CMakeFiles/skew_analysis_test.dir/analysis_test.cpp.o.d"
+  "skew_analysis_test"
+  "skew_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

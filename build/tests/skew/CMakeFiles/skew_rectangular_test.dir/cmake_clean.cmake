@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_rectangular_test.dir/rectangular_test.cpp.o"
+  "CMakeFiles/skew_rectangular_test.dir/rectangular_test.cpp.o.d"
+  "skew_rectangular_test"
+  "skew_rectangular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_rectangular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_scheme_test.dir/scheme_test.cpp.o"
+  "CMakeFiles/skew_scheme_test.dir/scheme_test.cpp.o.d"
+  "skew_scheme_test"
+  "skew_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/skew
+# Build directory: /root/repo/build/tests/skew
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(skew_scheme_test "/root/repo/build/tests/skew/skew_scheme_test")
+set_tests_properties(skew_scheme_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/skew/CMakeLists.txt;1;vpmem_test;/root/repo/tests/skew/CMakeLists.txt;0;")
+add_test(skew_analysis_test "/root/repo/build/tests/skew/skew_analysis_test")
+set_tests_properties(skew_analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/skew/CMakeLists.txt;2;vpmem_test;/root/repo/tests/skew/CMakeLists.txt;0;")
+add_test(skew_rectangular_test "/root/repo/build/tests/skew/skew_rectangular_test")
+set_tests_properties(skew_rectangular_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/skew/CMakeLists.txt;3;vpmem_test;/root/repo/tests/skew/CMakeLists.txt;0;")

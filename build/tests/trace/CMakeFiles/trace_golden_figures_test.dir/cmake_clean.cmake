@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_golden_figures_test.dir/golden_figures_test.cpp.o"
+  "CMakeFiles/trace_golden_figures_test.dir/golden_figures_test.cpp.o.d"
+  "trace_golden_figures_test"
+  "trace_golden_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_golden_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_timeline_test.dir/timeline_test.cpp.o"
+  "CMakeFiles/trace_timeline_test.dir/timeline_test.cpp.o.d"
+  "trace_timeline_test"
+  "trace_timeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trace
+# Build directory: /root/repo/build/tests/trace
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(trace_timeline_test "/root/repo/build/tests/trace/trace_timeline_test")
+set_tests_properties(trace_timeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/trace/CMakeLists.txt;1;vpmem_test;/root/repo/tests/trace/CMakeLists.txt;0;")
+add_test(trace_golden_figures_test "/root/repo/build/tests/trace/trace_golden_figures_test")
+set_tests_properties(trace_golden_figures_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/trace/CMakeLists.txt;2;vpmem_test;/root/repo/tests/trace/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_chart_test.dir/chart_test.cpp.o"
+  "CMakeFiles/util_chart_test.dir/chart_test.cpp.o.d"
+  "util_chart_test"
+  "util_chart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_numeric_test.dir/numeric_test.cpp.o"
+  "CMakeFiles/util_numeric_test.dir/numeric_test.cpp.o.d"
+  "util_numeric_test"
+  "util_numeric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_numeric_test "/root/repo/build/tests/util/util_numeric_test")
+set_tests_properties(util_numeric_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/util/CMakeLists.txt;1;vpmem_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(util_rational_test "/root/repo/build/tests/util/util_rational_test")
+set_tests_properties(util_rational_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/util/CMakeLists.txt;2;vpmem_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(util_table_test "/root/repo/build/tests/util/util_table_test")
+set_tests_properties(util_table_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/util/CMakeLists.txt;3;vpmem_test;/root/repo/tests/util/CMakeLists.txt;0;")
+add_test(util_chart_test "/root/repo/build/tests/util/util_chart_test")
+set_tests_properties(util_chart_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/util/CMakeLists.txt;4;vpmem_test;/root/repo/tests/util/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_kernels_test.dir/kernels_test.cpp.o"
+  "CMakeFiles/xmp_kernels_test.dir/kernels_test.cpp.o.d"
+  "xmp_kernels_test"
+  "xmp_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_machine_test.dir/machine_test.cpp.o"
+  "CMakeFiles/xmp_machine_test.dir/machine_test.cpp.o.d"
+  "xmp_machine_test"
+  "xmp_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_multitask_test.dir/multitask_test.cpp.o"
+  "CMakeFiles/xmp_multitask_test.dir/multitask_test.cpp.o.d"
+  "xmp_multitask_test"
+  "xmp_multitask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

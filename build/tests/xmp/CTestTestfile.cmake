@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xmp
+# Build directory: /root/repo/build/tests/xmp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(xmp_machine_test "/root/repo/build/tests/xmp/xmp_machine_test")
+set_tests_properties(xmp_machine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/xmp/CMakeLists.txt;1;vpmem_test;/root/repo/tests/xmp/CMakeLists.txt;0;")
+add_test(xmp_kernels_test "/root/repo/build/tests/xmp/xmp_kernels_test")
+set_tests_properties(xmp_kernels_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/xmp/CMakeLists.txt;2;vpmem_test;/root/repo/tests/xmp/CMakeLists.txt;0;")
+add_test(xmp_multitask_test "/root/repo/build/tests/xmp/xmp_multitask_test")
+set_tests_properties(xmp_multitask_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/xmp/CMakeLists.txt;3;vpmem_test;/root/repo/tests/xmp/CMakeLists.txt;0;")
