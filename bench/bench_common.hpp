@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,6 +14,42 @@
 #include "vpmem/vpmem.hpp"
 
 namespace vpmem::bench {
+
+/// Console reporter that additionally collects every run into a Json
+/// document (schema "vpmem.bench/1") so bench binaries can drop a
+/// machine-readable result file next to their human-readable output.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Json row = Json::object();
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<i64>(run.iterations);
+      row["real_time"] = run.GetAdjustedRealTime();
+      row["cpu_time"] = run.GetAdjustedCPUTime();
+      row["time_unit"] = benchmark::GetTimeUnitString(run.time_unit);
+      if (!run.counters.empty()) {
+        Json counters = Json::object();
+        for (const auto& [name, counter] : run.counters) counters[name] = counter.value;
+        row["counters"] = std::move(counters);
+      }
+      runs_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// The collected document: {"schema", "binary", "benchmarks": [...]}.
+  [[nodiscard]] Json document(const std::string& binary) const {
+    Json doc = Json::object();
+    doc["schema"] = "vpmem.bench/1";
+    doc["binary"] = binary;
+    doc["benchmarks"] = runs_;
+    return doc;
+  }
+
+ private:
+  Json runs_ = Json::array();
+};
 
 /// Print the regenerated clock diagram and steady state of a two-stream
 /// experiment, with the paper's expected bandwidth alongside.
@@ -52,12 +89,26 @@ inline void run_engine_benchmark(benchmark::State& state, const sim::MemoryConfi
 }
 
 /// Shared main: print the figure, then run the registered benchmarks.
-inline int figure_main(int argc, char** argv, void (*print_figure)()) {
+/// When `json_path` is non-null the collected results are also written
+/// there as a "vpmem.bench/1" document.
+inline int figure_main(int argc, char** argv, void (*print_figure)(),
+                       const char* json_path = nullptr) {
   print_figure();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (json_path != nullptr) {
+    std::ofstream out{json_path};
+    if (!out) {
+      std::cerr << "error: cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    reporter.document(argv[0] != nullptr ? argv[0] : "bench").dump(out, 2);
+    out << '\n';
+    std::cerr << "bench results written to " << json_path << '\n';
+  }
   return 0;
 }
 
@@ -67,4 +118,11 @@ inline int figure_main(int argc, char** argv, void (*print_figure)()) {
 #define VPMEM_FIGURE_MAIN(print_fn)                                        \
   int main(int argc, char** argv) {                                        \
     return ::vpmem::bench::figure_main(argc, argv, &(print_fn));           \
+  }
+
+/// Define main() for a figure bench that also writes its google-benchmark
+/// results to `json_file` via the vpmem JSON writer.
+#define VPMEM_FIGURE_MAIN_JSON(print_fn, json_file)                        \
+  int main(int argc, char** argv) {                                        \
+    return ::vpmem::bench::figure_main(argc, argv, &(print_fn), json_file); \
   }

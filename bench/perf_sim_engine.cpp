@@ -59,4 +59,4 @@ BENCHMARK(bm_offset_sweep);
 
 }  // namespace
 
-VPMEM_FIGURE_MAIN(print_figure)
+VPMEM_FIGURE_MAIN_JSON(print_figure, "BENCH_perf_sim_engine.json")

@@ -7,6 +7,11 @@
 //   vpmem_cli render <m> <nc> <d1> <d2> <b1> <b2> [cycles] [--same-cpu]
 //            [--sections s] [--cyclic-priority] [--consecutive]
 //       Draw the clock diagram in the paper's notation.
+//   vpmem_cli report <m> <nc> <d1> [d2 [b1 b2]] [--length n] [--cycles N]
+//            [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]
+//       Run the configuration and emit the full structured RunReport
+//       (schema vpmem.run_report/1) as JSON — to stdout, or to the --json
+//       file when given.
 //   vpmem_cli triad <n> <inc> [--dedicated]
 //       Run the Section IV triad on the X-MP model.
 //   vpmem_cli idim <m> <nc> <stride> <arrays> <min_elements>
@@ -16,8 +21,14 @@
 //       Conflict-regime map over every relative start position.
 //   vpmem_cli kernel <name> <n> <inc> [--dedicated]
 //       Run copy/scale/sum/daxpy/triad/gather/scatter on the X-MP model.
+//
+// Every subcommand accepts `--json <file>` and then also writes a
+// machine-readable record of its result ("-" writes the JSON to stdout
+// instead of a file); sweep-shaped subcommands log their perf telemetry
+// (simulated cycles/second, per-point latency) to stderr.
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,10 +45,16 @@ int usage() {
                "  vpmem_cli pair <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
                "  vpmem_cli render <m> <nc> <d1> <d2> <b1> <b2> [cycles] [--same-cpu]\n"
                "           [--sections s] [--cyclic-priority] [--consecutive]\n"
+               "  vpmem_cli report <m> <nc> <d1> [d2 [b1 b2]] [--length n] [--cycles N]\n"
+               "           [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]\n"
                "  vpmem_cli triad <n> <inc> [--dedicated]\n"
                "  vpmem_cli idim <m> <nc> <stride> <arrays> <min_elements>\n"
                "  vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
-               "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n";
+               "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n"
+               "options accepted by every subcommand:\n"
+               "  --json <file>   also write a machine-readable JSON record\n"
+               "                  ('-' = stdout); schema: vpmem.run_report/1 for\n"
+               "                  report, vpmem.cli/1 envelopes otherwise\n";
   return 2;
 }
 
@@ -49,6 +66,9 @@ struct Args {
   bool cyclic_priority = false;
   bool consecutive = false;
   i64 sections = 0;  // 0 = same as banks
+  i64 length = 0;    // 0 = infinite streams (report subcommand)
+  i64 cycles = 0;    // 0 = automatic window (report subcommand)
+  std::string json_path;  // empty = no JSON output
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -65,6 +85,15 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (a == "--sections") {
       if (++i >= argc) return false;
       args.sections = std::atoll(argv[i]);
+    } else if (a == "--length") {
+      if (++i >= argc) return false;
+      args.length = std::atoll(argv[i]);
+    } else if (a == "--cycles") {
+      if (++i >= argc) return false;
+      args.cycles = std::atoll(argv[i]);
+    } else if (a == "--json") {
+      if (++i >= argc) return false;
+      args.json_path = argv[i];
     } else if (!a.empty() && (std::isdigit(static_cast<unsigned char>(a[0])) != 0)) {
       args.positional.push_back(std::atoll(a.c_str()));
     } else if (!a.empty() && a[0] != '-' && args.word.empty()) {
@@ -86,26 +115,124 @@ sim::MemoryConfig config_from(const Args& args, i64 m, i64 nc) {
       .priority = args.cyclic_priority ? sim::PriorityRule::cyclic : sim::PriorityRule::fixed};
 }
 
+/// Human-readable output stream.  With `--json -` the JSON document owns
+/// stdout, so the human summary moves to stderr and stdout stays parseable.
+std::ostream& human(const Args& args) {
+  return args.json_path == "-" ? std::cerr : std::cout;
+}
+
+/// Write `doc` to args.json_path when set ('-' = stdout).  Returns false
+/// (and reports) on I/O failure.
+bool maybe_write_json(const Args& args, const Json& doc) {
+  if (args.json_path.empty()) return true;
+  if (args.json_path == "-") {
+    doc.dump(std::cout, 2);
+    std::cout << '\n';
+    return true;
+  }
+  std::ofstream out{args.json_path};
+  if (!out) {
+    std::cerr << "error: cannot open '" << args.json_path << "' for writing\n";
+    return false;
+  }
+  doc.dump(out, 2);
+  out << '\n';
+  return true;
+}
+
+/// Envelope shared by the non-`report` subcommands: the command name plus
+/// its result payload, under the "vpmem.cli/1" schema.
+Json cli_envelope(const std::string& command) {
+  Json doc = Json::object();
+  doc["schema"] = "vpmem.cli/1";
+  doc["command"] = command;
+  return doc;
+}
+
+Json json_of_ports(const std::vector<sim::PortStats>& ports) {
+  Json out = Json::array();
+  for (const auto& p : ports) out.push_back(obs::json_of(p));
+  return out;
+}
+
+Json json_of_triad(const xmp::TriadResult& r, const xmp::TriadSetup& setup, bool dedicated) {
+  Json out = Json::object();
+  out["n"] = setup.n;
+  out["inc"] = setup.inc;
+  out["idim"] = setup.idim;
+  out["dedicated"] = dedicated;
+  out["cycles"] = r.cycles;
+  out["cycles_per_element"] = r.cycles_per_element(setup.n);
+  out["conflicts"] = obs::json_of(r.conflicts);
+  out["background_goodput"] = r.background_goodput();
+  out["ports"] = json_of_ports(r.triad_ports);
+  out["background_ports"] = json_of_ports(r.background_ports);
+  return out;
+}
+
 int cmd_single(const Args& args) {
   if (args.positional.size() != 3) return usage();
   const auto [m, nc, d] = std::tuple{args.positional[0], args.positional[1], args.positional[2]};
   const core::SingleStreamReport r = core::analyze_single(config_from(args, m, nc), d);
-  std::cout << "m=" << m << " nc=" << nc << " d=" << d << ": return number "
+  human(args) << "m=" << m << " nc=" << nc << " d=" << d << ": return number "
             << r.return_number << ", predicted b_eff " << r.predicted.str() << ", simulated "
             << r.simulated.str() << (r.consistent() ? "" : "  [MISMATCH]") << '\n';
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("single");
+    doc["m"] = m;
+    doc["nc"] = nc;
+    doc["d"] = d;
+    doc["return_number"] = r.return_number;
+    doc["predicted_b_eff"] = obs::json_of(r.predicted);
+    doc["simulated_b_eff"] = obs::json_of(r.simulated);
+    doc["consistent"] = r.consistent();
+    doc["report"] = obs::report_run(config_from(args, m, nc),
+                                    {sim::StreamConfig{.start_bank = 0, .distance = d}})
+                        .to_json();
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
 }
 
 int cmd_pair(const Args& args) {
   if (args.positional.size() != 4) return usage();
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
   const core::PairReport r =
-      core::analyze_pair(config_from(args, args.positional[0], args.positional[1]),
-                         args.positional[2], args.positional[3], args.same_cpu);
-  std::cout << r.summary() << "\nby offset:";
+      core::analyze_pair(cfg, args.positional[2], args.positional[3], args.same_cpu);
+  human(args) << r.summary() << "\nby offset:";
   for (std::size_t b2 = 0; b2 < r.by_offset.size(); ++b2) {
-    std::cout << ' ' << b2 << ':' << r.by_offset[b2].str();
+    human(args) << ' ' << b2 << ':' << r.by_offset[b2].str();
   }
-  std::cout << '\n';
+  human(args) << '\n';
+  // The offset sweep's perf telemetry (purely observational).
+  const sim::OffsetSweep sweep =
+      sim::sweep_start_offsets(cfg, args.positional[2], args.positional[3], args.same_cpu);
+  std::cerr << "sweep telemetry: " << sweep.by_offset.size() << " offsets, "
+            << sweep.cycles_simulated << " simulated cycles in " << sweep.wall_seconds
+            << " s (" << sweep.cycles_per_second() << " cycles/s)\n";
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("pair");
+    doc["m"] = r.m;
+    doc["nc"] = r.nc;
+    doc["d1"] = r.d1;
+    doc["d2"] = r.d2;
+    doc["same_cpu"] = args.same_cpu;
+    doc["classification"] = analytic::to_string(r.prediction.cls);
+    doc["predicted_b_eff"] =
+        r.prediction.bandwidth ? obs::json_of(*r.prediction.bandwidth) : Json{nullptr};
+    doc["sim_min"] = obs::json_of(r.sim_min);
+    doc["sim_max"] = obs::json_of(r.sim_max);
+    Json by_offset = Json::array();
+    for (const auto& bw : r.by_offset) by_offset.push_back(obs::json_of(bw));
+    doc["by_offset"] = std::move(by_offset);
+    Json perf = Json::object();
+    perf["points"] = sweep.by_offset.size();
+    perf["wall_seconds"] = sweep.wall_seconds;
+    perf["simulated_cycles"] = sweep.cycles_simulated;
+    perf["cycles_per_second"] = sweep.cycles_per_second();
+    doc["sweep_perf"] = std::move(perf);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
 }
 
@@ -117,10 +244,47 @@ int cmd_render(const Args& args) {
   const auto streams = sim::two_streams(args.positional[4], args.positional[2],
                                         args.positional[5], args.positional[3], args.same_cpu);
   const auto cfg = config_from(args, m, nc);
-  std::cout << trace::render_run(cfg, streams, cycles, cfg.sections != m);
+  const std::string diagram = trace::render_run(cfg, streams, cycles, cfg.sections != m);
+  human(args) << diagram;
   const auto ss = sim::find_steady_state(cfg, streams);
-  std::cout << "steady-state b_eff = " << ss.bandwidth.str() << '\n';
+  human(args) << "steady-state b_eff = " << ss.bandwidth.str() << '\n';
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("render");
+    doc["diagram"] = diagram;
+    doc["report"] = obs::report_run(cfg, streams).to_json();
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.size() != 3 && args.positional.size() != 4 &&
+      args.positional.size() != 6) {
+    return usage();
+  }
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  std::vector<sim::StreamConfig> streams;
+  if (args.positional.size() == 3) {
+    streams.push_back(sim::StreamConfig{.start_bank = 0, .distance = args.positional[2]});
+  } else {
+    const i64 b1 = args.positional.size() == 6 ? args.positional[4] : 0;
+    const i64 b2 = args.positional.size() == 6 ? args.positional[5] : 0;
+    streams = sim::two_streams(b1, args.positional[2], b2, args.positional[3], args.same_cpu);
+  }
+  if (args.length > 0) {
+    for (auto& s : streams) s.length = args.length;
+  }
+  obs::ReportOptions options;
+  options.cycles = args.cycles;
+  const obs::RunReport report = obs::report_run(cfg, streams, options);
+  std::cerr << "report: " << report.kind << ", " << report.perf.cycles_simulated
+            << " simulated cycles in " << report.perf.wall_seconds << " s ("
+            << report.perf.cycles_per_second() << " cycles/s)\n";
+  if (args.json_path.empty()) {
+    report.write_json(std::cout);
+    return 0;
+  }
+  return maybe_write_json(args, report.to_json()) ? 0 : 1;
 }
 
 int cmd_triad(const Args& args) {
@@ -130,22 +294,46 @@ int cmd_triad(const Args& args) {
   setup.n = args.positional[0];
   setup.inc = args.positional[1];
   const xmp::TriadResult r = xmp::run_triad(machine, setup, !args.dedicated);
-  std::cout << "triad n=" << setup.n << " inc=" << setup.inc
+  human(args) << "triad n=" << setup.n << " inc=" << setup.inc
             << (args.dedicated ? " (dedicated)" : " (contended)") << ": " << r.cycles
             << " cycles, conflicts bank=" << r.conflicts.bank
             << " section=" << r.conflicts.section << " simult=" << r.conflicts.simultaneous;
-  if (!args.dedicated) std::cout << ", other CPU b_eff " << cell(r.background_goodput(), 3);
-  std::cout << '\n';
+  if (!args.dedicated) human(args) << ", other CPU b_eff " << cell(r.background_goodput(), 3);
+  human(args) << '\n';
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("triad");
+    doc["result"] = json_of_triad(r, setup, args.dedicated);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
 }
 
 int cmd_diagnose(const Args& args) {
   if (args.positional.size() != 4) return usage();
   const auto cfg = config_from(args, args.positional[0], args.positional[1]);
-  const core::RegimeSweep sweep =
-      core::sweep_regimes(cfg, args.positional[2], args.positional[3], args.same_cpu);
+  obs::SweepTelemetry telemetry;
+  const core::RegimeSweep sweep = core::sweep_regimes(cfg, args.positional[2],
+                                                      args.positional[3], args.same_cpu,
+                                                      &telemetry);
   for (std::size_t b2 = 0; b2 < sweep.by_offset.size(); ++b2) {
-    std::cout << "b2=" << b2 << ": " << sweep.by_offset[b2].summary() << '\n';
+    human(args) << "b2=" << b2 << ": " << sweep.by_offset[b2].summary() << '\n';
+  }
+  std::cerr << "sweep telemetry: " << telemetry.summary() << '\n';
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("diagnose");
+    Json by_offset = Json::array();
+    for (const auto& d : sweep.by_offset) {
+      Json entry = Json::object();
+      entry["regime"] = core::to_string(d.regime);
+      entry["b_eff"] = obs::json_of(d.bandwidth);
+      entry["conflicts_in_period"] = obs::json_of(d.conflicts_in_period);
+      entry["period"] = d.period;
+      entry["transient_cycles"] = d.transient_cycles;
+      by_offset.push_back(std::move(entry));
+    }
+    doc["by_offset"] = std::move(by_offset);
+    doc["sweep_perf"] = telemetry.to_json();
+    if (!maybe_write_json(args, doc)) return 1;
   }
   return 0;
 }
@@ -167,11 +355,17 @@ int cmd_kernel(const Args& args) {
   setup.n = args.positional[0];
   setup.inc = args.positional[1];
   const xmp::TriadResult r = xmp::run_kernel(machine, *spec, setup, !args.dedicated);
-  std::cout << spec->name << " n=" << setup.n << " inc=" << setup.inc
+  human(args) << spec->name << " n=" << setup.n << " inc=" << setup.inc
             << (args.dedicated ? " (dedicated)" : " (contended)") << ": " << r.cycles
             << " cycles, conflicts bank=" << r.conflicts.bank
             << " section=" << r.conflicts.section << " simult=" << r.conflicts.simultaneous
             << '\n';
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("kernel");
+    doc["kernel"] = spec->name;
+    doc["result"] = json_of_triad(r, setup, args.dedicated);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
 }
 
@@ -182,10 +376,19 @@ int cmd_idim(const Args& args) {
                                         args.positional[4], args.same_cpu);
   const auto sweep = core::sweep_array_spacing(cfg, args.positional[2], args.positional[3],
                                                args.same_cpu);
-  std::cout << "recommended IDIM " << idim << " (spacing " << mod_norm(idim, cfg.banks)
+  human(args) << "recommended IDIM " << idim << " (spacing " << mod_norm(idim, cfg.banks)
             << " mod " << cfg.banks << ", group b_eff " << sweep.best_bandwidth.str()
             << "; worst spacing " << sweep.worst_spacing << " -> "
             << sweep.worst_bandwidth.str() << ")\n";
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("idim");
+    doc["recommended_idim"] = idim;
+    doc["spacing"] = mod_norm(idim, cfg.banks);
+    doc["best_b_eff"] = obs::json_of(sweep.best_bandwidth);
+    doc["worst_spacing"] = sweep.worst_spacing;
+    doc["worst_b_eff"] = obs::json_of(sweep.worst_bandwidth);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
   return 0;
 }
 
@@ -200,6 +403,7 @@ int main(int argc, char** argv) {
     if (cmd == "single") return cmd_single(args);
     if (cmd == "pair") return cmd_pair(args);
     if (cmd == "render") return cmd_render(args);
+    if (cmd == "report") return cmd_report(args);
     if (cmd == "triad") return cmd_triad(args);
     if (cmd == "idim") return cmd_idim(args);
     if (cmd == "diagnose") return cmd_diagnose(args);

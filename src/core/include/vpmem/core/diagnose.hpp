@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "vpmem/obs/timer.hpp"
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
 #include "vpmem/util/rational.hpp"
@@ -30,6 +31,7 @@ struct Diagnosis {
   sim::ConflictTotals conflicts_in_period;
   i64 period = 0;
   i64 transient_cycles = 0;
+  i64 cycles_simulated = 0;  ///< detection cost (perf telemetry only)
 
   [[nodiscard]] std::string summary() const;
 };
@@ -48,7 +50,10 @@ struct RegimeSweep {
   [[nodiscard]] std::vector<i64> offsets_with(RunRegime regime) const;
 };
 
+/// When `telemetry` is non-null the per-offset detection latency and
+/// simulated cycle counts are recorded into it (results unaffected).
 [[nodiscard]] RegimeSweep sweep_regimes(const sim::MemoryConfig& config, i64 d1, i64 d2,
-                                        bool same_cpu = false);
+                                        bool same_cpu = false,
+                                        obs::SweepTelemetry* telemetry = nullptr);
 
 }  // namespace vpmem::core

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "vpmem/obs/timer.hpp"
+
 namespace vpmem::core {
 
 /// Number of workers to use: min(hint, hardware_concurrency), at least 1.
@@ -17,15 +19,29 @@ namespace vpmem::core {
 /// Apply `fn` to every index in [0, count) on `workers` threads and return
 /// the results in index order.  `fn` must be callable concurrently; any
 /// exception it throws is rethrown on the caller's thread (first one wins).
+///
+/// When `telemetry` is non-null every point's wall-clock latency is
+/// recorded into it (thread-safe); `fn` may additionally report the clock
+/// periods it stepped via SweepTelemetry::add_cycles so the sweep's
+/// simulated-cycles-per-second is meaningful.  Telemetry never changes
+/// the results.
 template <typename R>
 std::vector<R> parallel_index_map(std::size_t count, const std::function<R(std::size_t)>& fn,
-                                  std::size_t workers = 0) {
+                                  std::size_t workers = 0,
+                                  obs::SweepTelemetry* telemetry = nullptr) {
   if (!fn) throw std::invalid_argument{"parallel_index_map: fn must be callable"};
   workers = default_workers(workers);
+  const auto timed_fn = [&](std::size_t i) {
+    if (telemetry == nullptr) return fn(i);
+    const obs::Stopwatch watch;
+    R result = fn(i);
+    telemetry->record_point(watch.seconds());
+    return result;
+  };
   std::vector<R> results(count);
   if (count == 0) return results;
   if (workers <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    for (std::size_t i = 0; i < count; ++i) results[i] = timed_fn(i);
     return results;
   }
   std::vector<std::exception_ptr> errors(workers);
@@ -34,7 +50,7 @@ std::vector<R> parallel_index_map(std::size_t count, const std::function<R(std::
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
       try {
-        for (std::size_t i = w; i < count; i += workers) results[i] = fn(i);
+        for (std::size_t i = w; i < count; i += workers) results[i] = timed_fn(i);
       } catch (...) {
         errors[w] = std::current_exception();
       }
@@ -50,9 +66,10 @@ std::vector<R> parallel_index_map(std::size_t count, const std::function<R(std::
 /// Convenience: map over a vector of inputs.
 template <typename R, typename T>
 std::vector<R> parallel_map(const std::vector<T>& inputs, const std::function<R(const T&)>& fn,
-                            std::size_t workers = 0) {
+                            std::size_t workers = 0,
+                            obs::SweepTelemetry* telemetry = nullptr) {
   return parallel_index_map<R>(
-      inputs.size(), [&](std::size_t i) { return fn(inputs[i]); }, workers);
+      inputs.size(), [&](std::size_t i) { return fn(inputs[i]); }, workers, telemetry);
 }
 
 }  // namespace vpmem::core

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "vpmem/obs/timer.hpp"
 #include "vpmem/sim/event.hpp"
 #include "vpmem/util/numeric.hpp"
 #include "vpmem/util/table.hpp"
@@ -39,9 +40,12 @@ struct TriadExperiment {
 };
 
 /// Run the full sweep (both contended and dedicated runs per INC), in
-/// parallel across `workers` threads.
-[[nodiscard]] std::vector<TriadRow> run_triad_experiment(const TriadExperiment& experiment,
-                                                         std::size_t workers = 0);
+/// parallel across `workers` threads.  When `telemetry` is non-null the
+/// sweep records per-INC wall-clock latency and the simulated clock
+/// periods of both runs into it (results are unaffected).
+[[nodiscard]] std::vector<TriadRow> run_triad_experiment(
+    const TriadExperiment& experiment, std::size_t workers = 0,
+    obs::SweepTelemetry* telemetry = nullptr);
 
 /// Render rows as the table the paper's five sub-figures plot.
 [[nodiscard]] Table triad_table(const std::vector<TriadRow>& rows);

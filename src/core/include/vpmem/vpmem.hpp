@@ -4,6 +4,7 @@
 //
 // Layers (see DESIGN.md):
 //   vpmem::sim       cycle-level bank/section/port simulator
+//   vpmem::obs       metrics registry, run reports, perf telemetry
 //   vpmem::analytic  Theorems 1-9 and the distance isomorphism
 //   vpmem::trace     the paper's clock diagrams
 //   vpmem::xmp       Cray X-MP machine model (Section IV)
@@ -26,6 +27,10 @@
 #include "vpmem/core/layout.hpp"
 #include "vpmem/core/sweep.hpp"
 #include "vpmem/core/triad_experiment.hpp"
+#include "vpmem/obs/collector.hpp"
+#include "vpmem/obs/metrics.hpp"
+#include "vpmem/obs/report.hpp"
+#include "vpmem/obs/timer.hpp"
 #include "vpmem/skew/analysis.hpp"
 #include "vpmem/skew/scheme.hpp"
 #include "vpmem/sim/config.hpp"
@@ -35,6 +40,7 @@
 #include "vpmem/sim/steady_state.hpp"
 #include "vpmem/trace/timeline.hpp"
 #include "vpmem/util/chart.hpp"
+#include "vpmem/util/json.hpp"
 #include "vpmem/util/numeric.hpp"
 #include "vpmem/util/rational.hpp"
 #include "vpmem/util/table.hpp"

@@ -25,6 +25,7 @@ Diagnosis diagnose(const sim::MemoryConfig& config,
   d.conflicts_in_period = ss.conflicts_in_period;
   d.period = ss.period;
   d.transient_cycles = ss.transient_cycles;
+  d.cycles_simulated = ss.cycles_simulated;
   const auto& c = ss.conflicts_in_period;
   if (c.total() == 0) {
     d.regime = RunRegime::conflict_free;
@@ -48,11 +49,16 @@ std::vector<i64> RegimeSweep::offsets_with(RunRegime regime) const {
   return out;
 }
 
-RegimeSweep sweep_regimes(const sim::MemoryConfig& config, i64 d1, i64 d2, bool same_cpu) {
+RegimeSweep sweep_regimes(const sim::MemoryConfig& config, i64 d1, i64 d2, bool same_cpu,
+                          obs::SweepTelemetry* telemetry) {
   RegimeSweep sweep;
   sweep.by_offset.reserve(static_cast<std::size_t>(config.banks));
   for (i64 b2 = 0; b2 < config.banks; ++b2) {
+    const obs::Stopwatch watch;
     sweep.by_offset.push_back(diagnose(config, sim::two_streams(0, d1, b2, d2, same_cpu)));
+    if (telemetry != nullptr) {
+      telemetry->record_point(watch.seconds(), sweep.by_offset.back().cycles_simulated);
+    }
   }
   return sweep;
 }

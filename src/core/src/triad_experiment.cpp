@@ -7,7 +7,8 @@
 namespace vpmem::core {
 
 std::vector<TriadRow> run_triad_experiment(const TriadExperiment& experiment,
-                                           std::size_t workers) {
+                                           std::size_t workers,
+                                           obs::SweepTelemetry* telemetry) {
   if (experiment.inc_min < 1 || experiment.inc_max < experiment.inc_min) {
     throw std::invalid_argument{"run_triad_experiment: bad INC range"};
   }
@@ -28,9 +29,10 @@ std::vector<TriadRow> run_triad_experiment(const TriadExperiment& experiment,
         row.conflicts_contended = contended.conflicts;
         row.conflicts_dedicated = dedicated.conflicts;
         row.background_goodput = contended.background_goodput();
+        if (telemetry != nullptr) telemetry->add_cycles(contended.cycles + dedicated.cycles);
         return row;
       },
-      workers);
+      workers, telemetry);
 }
 
 Table triad_table(const std::vector<TriadRow>& rows) {

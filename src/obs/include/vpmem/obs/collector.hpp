@@ -1,0 +1,80 @@
+// Event-stream collector: attaches to a MemorySystem through the event-
+// hook multiplexer and rebuilds per-port, per-bank and per-conflict-kind
+// statistics *independently* of the simulator's own counters.  Because
+// the two paths never share state, `Collector::port_stats()` equaling
+// `MemorySystem::all_stats()` is a real invariant check, exercised by the
+// obs test suite on the paper's Fig. 2/3/10 configurations.
+//
+// The Collector coexists with trace::Timeline on the same run — both use
+// MemorySystem::add_event_hook.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vpmem/obs/metrics.hpp"
+#include "vpmem/sim/event.hpp"
+#include "vpmem/sim/memory_system.hpp"
+#include "vpmem/util/json.hpp"
+
+namespace vpmem::obs {
+
+/// Aggregates a simulation's event stream into a MetricsRegistry:
+///   counters   grants, conflicts.bank / .simultaneous / .section
+///   histograms stall_length (completed delay runs, in clock periods),
+///              bank_grants (distribution of per-bank grant counts;
+///              filled by finish())
+///   gauges     bank_utilization, hottest_bank (filled by finish())
+/// plus per-port PortStats and a per-bank grant vector.
+///
+/// Lifecycle: construct before running (RAII-attaches a hook), step the
+/// system, then call finish() — it flushes still-open stall runs, fills
+/// the bank-level metrics and detaches.  The destructor calls finish()
+/// if it has not run yet.
+class Collector {
+ public:
+  explicit Collector(sim::MemorySystem& mem);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+  Collector(Collector&&) = delete;
+  Collector& operator=(Collector&&) = delete;
+
+  /// Flush open stall runs, record bank-level metrics, detach the hook.
+  /// Idempotent; no further events are collected afterwards.
+  void finish();
+
+  /// Per-port statistics recounted from events alone.  Matches
+  /// MemorySystem::all_stats() field-for-field.
+  [[nodiscard]] std::vector<sim::PortStats> port_stats() const;
+
+  /// Grants per bank, recounted from events.
+  [[nodiscard]] const std::vector<i64>& bank_grants() const noexcept { return bank_grants_; }
+
+  /// Distribution of completed stall-run lengths, in clock periods.
+  [[nodiscard]] const Histogram& stall_lengths() const;
+
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+
+  /// registry().to_json() plus per-port and per-bank breakdowns.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  void on_event(const sim::Event& e);
+
+  sim::MemorySystem& mem_;
+  std::size_t hook_ = 0;
+  bool attached_ = false;
+  std::vector<sim::PortStats> ports_;
+  std::vector<i64> bank_grants_;
+  MetricsRegistry registry_;
+  // Hot-path metrics, resolved once at construction (registry references
+  // are stable): on_event must not do name lookups per simulated event.
+  Counter* grants_ = nullptr;
+  Counter* conflict_counters_[3] = {nullptr, nullptr, nullptr};  ///< by ConflictKind
+  Histogram* stall_lengths_ = nullptr;
+};
+
+}  // namespace vpmem::obs

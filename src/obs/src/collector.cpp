@@ -1,0 +1,98 @@
+#include "vpmem/obs/collector.hpp"
+
+#include <algorithm>
+
+namespace vpmem::obs {
+
+Collector::Collector(sim::MemorySystem& mem)
+    : mem_{mem}, bank_grants_(static_cast<std::size_t>(mem.config().banks), 0) {
+  // Register the fixed metrics up front so they serialize in a stable
+  // order even when a run produces no events of some kind, and cache the
+  // hot-path pointers (registry references are stable).
+  grants_ = &registry_.counter("grants");
+  conflict_counters_[static_cast<std::size_t>(sim::ConflictKind::bank)] =
+      &registry_.counter("conflicts.bank");
+  conflict_counters_[static_cast<std::size_t>(sim::ConflictKind::simultaneous)] =
+      &registry_.counter("conflicts.simultaneous");
+  conflict_counters_[static_cast<std::size_t>(sim::ConflictKind::section)] =
+      &registry_.counter("conflicts.section");
+  stall_lengths_ = &registry_.histogram("stall_length");
+  registry_.histogram("bank_grants");
+  registry_.gauge("bank_utilization");
+  registry_.gauge("hottest_bank");
+  hook_ = mem_.add_event_hook([this](const sim::Event& e) { on_event(e); });
+  attached_ = true;
+}
+
+Collector::~Collector() { finish(); }
+
+void Collector::on_event(const sim::Event& e) {
+  if (e.port >= ports_.size()) ports_.resize(e.port + 1);  // ports may appear mid-run
+  sim::PortStats& p = ports_[e.port];
+  if (e.type == sim::Event::Type::grant) {
+    ++p.grants;
+    if (p.first_grant_cycle < 0) p.first_grant_cycle = e.cycle;
+    p.last_grant_cycle = e.cycle;
+    if (p.current_stall > 0) stall_lengths_->record(p.current_stall);
+    p.current_stall = 0;
+    ++bank_grants_[static_cast<std::size_t>(e.bank)];
+    grants_->inc();
+    return;
+  }
+  switch (e.conflict) {
+    case sim::ConflictKind::bank: ++p.bank_conflicts; break;
+    case sim::ConflictKind::simultaneous: ++p.simultaneous_conflicts; break;
+    case sim::ConflictKind::section: ++p.section_conflicts; break;
+  }
+  conflict_counters_[static_cast<std::size_t>(e.conflict)]->inc();
+  p.longest_stall = std::max(p.longest_stall, ++p.current_stall);
+}
+
+void Collector::finish() {
+  if (!attached_) return;
+  mem_.remove_event_hook(hook_);
+  attached_ = false;
+  // Stall runs still open when the run stopped count as samples too —
+  // a port parked behind a barrier would otherwise vanish from the
+  // histogram entirely.
+  for (const sim::PortStats& p : ports_) {
+    if (p.current_stall > 0) stall_lengths_->record(p.current_stall);
+  }
+  Histogram& grants = registry_.histogram("bank_grants");
+  for (const i64 g : bank_grants_) grants.record(g);
+  registry_.gauge("bank_utilization").set(mem_.bank_utilization());
+  registry_.gauge("hottest_bank").set(static_cast<double>(mem_.hottest_bank()));
+}
+
+std::vector<sim::PortStats> Collector::port_stats() const {
+  // Pad to the system's port count: a port that never produced an event
+  // still exists (all-zero stats), exactly as in all_stats().
+  std::vector<sim::PortStats> out = ports_;
+  if (out.size() < mem_.port_count()) out.resize(mem_.port_count());
+  return out;
+}
+
+const Histogram& Collector::stall_lengths() const { return *stall_lengths_; }
+
+Json Collector::to_json() const {
+  Json out = registry_.to_json();
+  Json ports = Json::array();
+  for (const sim::PortStats& p : port_stats()) {
+    Json port = Json::object();
+    port["grants"] = p.grants;
+    port["bank_conflicts"] = p.bank_conflicts;
+    port["simultaneous_conflicts"] = p.simultaneous_conflicts;
+    port["section_conflicts"] = p.section_conflicts;
+    port["first_grant_cycle"] = p.first_grant_cycle;
+    port["last_grant_cycle"] = p.last_grant_cycle;
+    port["longest_stall"] = p.longest_stall;
+    ports.push_back(std::move(port));
+  }
+  out["ports"] = std::move(ports);
+  Json banks = Json::array();
+  for (const i64 g : bank_grants_) banks.push_back(g);
+  out["bank_grants_by_bank"] = std::move(banks);
+  return out;
+}
+
+}  // namespace vpmem::obs

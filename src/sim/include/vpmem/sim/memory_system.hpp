@@ -77,10 +77,25 @@ class MemorySystem {
   /// The bank with the most grants so far (ties: lowest address).
   [[nodiscard]] i64 hottest_bank() const;
 
-  /// Observer invoked for every grant/conflict event; pass nullptr to
-  /// remove.  Used by vpmem::trace to build the paper's clock diagrams.
+  /// Observer invoked for every grant/conflict event.  Multiple hooks may
+  /// be attached at once (a hook multiplexer): vpmem::trace's Timeline and
+  /// vpmem::obs's Collector can watch the same run.  Hooks fire in
+  /// attachment order; they must not mutate the system.
   using EventHook = std::function<void(const Event&)>;
-  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+  /// Attach `hook`; returns a handle for remove_event_hook.
+  std::size_t add_event_hook(EventHook hook);
+
+  /// Detach the hook with the given handle (no-op if already removed).
+  void remove_event_hook(std::size_t handle);
+
+  /// Number of hooks currently attached.
+  [[nodiscard]] std::size_t event_hook_count() const noexcept;
+
+  /// Legacy single-hook interface: replaces the hook installed by a prior
+  /// set_event_hook call (hooks added via add_event_hook are unaffected);
+  /// pass nullptr to remove.
+  void set_event_hook(EventHook hook);
 
   /// Opaque encoding of the machine state that determines all future
   /// behaviour of *infinite* streams (per-port phase, bank busy times,
@@ -105,7 +120,11 @@ class MemorySystem {
   i64 now_ = 0;
   i64 max_cpu_ = 0;
   std::size_t rr_ = 0;  ///< highest-priority port under PriorityRule::cyclic
-  EventHook hook_;
+  /// Attached hooks, keyed by handle; removed entries stay as empty
+  /// functions so handles remain stable (hook churn is rare and tiny).
+  std::vector<EventHook> hooks_;
+  std::size_t live_hooks_ = 0;  ///< count of non-empty entries in hooks_
+  std::size_t legacy_hook_ = static_cast<std::size_t>(-1);  ///< set_event_hook slot
   // Per-step scratch (members to avoid per-cycle allocation).
   std::vector<std::size_t> bank_claim_;
   std::vector<std::size_t> path_claim_;

@@ -22,6 +22,13 @@ struct SteadyState {
   std::vector<Rational> per_port;      ///< per-port share of b_eff
   i64 transient_cycles = 0;            ///< periods before the cyclic state is entered
   i64 period = 0;                      ///< length of the cyclic state
+  i64 cycles_simulated = 0;            ///< clock periods stepped during detection
+  double wall_seconds = 0.0;           ///< wall-clock cost of the detection
+  /// Simulator throughput of the detection run (simulated clock periods
+  /// per wall-clock second); 0 when the run was too fast to time.
+  [[nodiscard]] double cycles_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(cycles_simulated) / wall_seconds : 0.0;
+  }
   std::vector<i64> grants_in_period;   ///< per-port grants within one period
   ConflictTotals conflicts_in_period;  ///< conflicts within one period
   std::vector<PortStats> per_port_delta;  ///< per-port stats within one period
@@ -52,6 +59,13 @@ struct OffsetSweep {
   Rational min_bandwidth;
   Rational max_bandwidth;
   std::vector<Rational> by_offset;  ///< index = b2
+  // Perf telemetry of the sweep itself (summed over offsets); purely
+  // observational — the bandwidths above are unaffected.
+  i64 cycles_simulated = 0;   ///< clock periods stepped across all points
+  double wall_seconds = 0.0;  ///< wall-clock cost of the whole sweep
+  [[nodiscard]] double cycles_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(cycles_simulated) / wall_seconds : 0.0;
+  }
 };
 
 [[nodiscard]] OffsetSweep sweep_start_offsets(const MemoryConfig& config, i64 d1, i64 d2,

@@ -90,8 +90,40 @@ bool MemorySystem::finished() const noexcept {
   return std::all_of(ports_.begin(), ports_.end(), [](const PortState& p) { return p.done(); });
 }
 
+std::size_t MemorySystem::add_event_hook(EventHook hook) {
+  if (!hook) throw std::invalid_argument{"add_event_hook: hook must be callable"};
+  // Reuse a vacated slot when available to keep the fan-out loop dense.
+  for (std::size_t h = 0; h < hooks_.size(); ++h) {
+    if (!hooks_[h]) {
+      hooks_[h] = std::move(hook);
+      ++live_hooks_;
+      return h;
+    }
+  }
+  hooks_.push_back(std::move(hook));
+  ++live_hooks_;
+  return hooks_.size() - 1;
+}
+
+void MemorySystem::remove_event_hook(std::size_t handle) {
+  if (handle >= hooks_.size() || !hooks_[handle]) return;
+  hooks_[handle] = nullptr;
+  --live_hooks_;
+  if (handle == legacy_hook_) legacy_hook_ = static_cast<std::size_t>(-1);
+}
+
+std::size_t MemorySystem::event_hook_count() const noexcept { return live_hooks_; }
+
+void MemorySystem::set_event_hook(EventHook hook) {
+  remove_event_hook(legacy_hook_);
+  if (hook) legacy_hook_ = add_event_hook(std::move(hook));
+}
+
 void MemorySystem::emit(const Event& e) const {
-  if (hook_) hook_(e);
+  if (live_hooks_ == 0) return;
+  for (const EventHook& hook : hooks_) {
+    if (hook) hook(e);
+  }
 }
 
 void MemorySystem::step() {

@@ -1,5 +1,6 @@
 #include "vpmem/sim/steady_state.hpp"
 
+#include <chrono>
 #include <map>
 #include <stdexcept>
 
@@ -38,6 +39,7 @@ SteadyState find_steady_state(const MemoryConfig& config,
       throw std::invalid_argument{"find_steady_state: all streams must be infinite"};
     }
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   MemorySystem mem{config, streams};
   std::map<std::vector<i64>, Snapshot> seen;
 
@@ -63,6 +65,9 @@ SteadyState find_steady_state(const MemoryConfig& config,
         out.per_port_delta.push_back(d);
       }
       out.bandwidth = Rational{total_grants, out.period};
+      out.cycles_simulated = now.cycle;
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
       return out;
     }
     mem.step();
@@ -77,6 +82,8 @@ OffsetSweep sweep_start_offsets(const MemoryConfig& config, i64 d1, i64 d2, bool
   for (i64 b2 = 0; b2 < config.banks; ++b2) {
     const SteadyState ss =
         find_steady_state(config, two_streams(0, d1, b2, d2, same_cpu), max_cycles);
+    sweep.cycles_simulated += ss.cycles_simulated;
+    sweep.wall_seconds += ss.wall_seconds;
     sweep.by_offset.push_back(ss.bandwidth);
     if (b2 == 0) {
       sweep.min_bandwidth = ss.bandwidth;

@@ -7,6 +7,8 @@
 //   '*'       the delay is a section (access-path) conflict.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,7 @@ class Timeline {
 
  private:
   sim::MemorySystem& mem_;
+  std::size_t hook_ = 0;  ///< handle from MemorySystem::add_event_hook
   std::vector<sim::Event> events_;
 };
 

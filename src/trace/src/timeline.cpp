@@ -6,11 +6,11 @@
 
 namespace vpmem::trace {
 
-Timeline::Timeline(sim::MemorySystem& mem) : mem_{mem} {
-  mem_.set_event_hook([this](const sim::Event& e) { events_.push_back(e); });
-}
+Timeline::Timeline(sim::MemorySystem& mem)
+    : mem_{mem},
+      hook_{mem.add_event_hook([this](const sim::Event& e) { events_.push_back(e); })} {}
 
-Timeline::~Timeline() { mem_.set_event_hook(nullptr); }
+Timeline::~Timeline() { mem_.remove_event_hook(hook_); }
 
 namespace {
 

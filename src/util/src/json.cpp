@@ -1,0 +1,426 @@
+#include "vpmem/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpmem {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected) {
+  throw std::runtime_error{std::string{"Json: value is not "} + expected};
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xffu);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN literal
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  if (ec != std::errc{}) type_error("a representable double");
+  // Keep integral doubles visibly doubles so a round-trip preserves type.
+  std::string_view text{buf, static_cast<std::size_t>(ptr - buf)};
+  os << text;
+  if (text.find_first_of(".eE") == std::string_view::npos) os << ".0";
+}
+
+/// Strict recursive-descent parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"Json::parse: " + what + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json{string()};
+      case 't':
+        if (consume_literal("true")) return Json{true};
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json{false};
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json{nullptr};
+        fail("invalid literal");
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json{std::move(members)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json{std::move(members)};
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json::Array elements;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json{std::move(elements)};
+    }
+    while (true) {
+      elements.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json{std::move(elements)};
+    }
+  }
+
+  unsigned hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      code <<= 4u;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80u) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800u) {
+      out += static_cast<char>(0xC0u | (cp >> 6u));
+      out += static_cast<char>(0x80u | (cp & 0x3Fu));
+    } else if (cp < 0x10000u) {
+      out += static_cast<char>(0xE0u | (cp >> 12u));
+      out += static_cast<char>(0x80u | ((cp >> 6u) & 0x3Fu));
+      out += static_cast<char>(0x80u | (cp & 0x3Fu));
+    } else {
+      out += static_cast<char>(0xF0u | (cp >> 18u));
+      out += static_cast<char>(0x80u | ((cp >> 12u) & 0x3Fu));
+      out += static_cast<char>(0x80u | ((cp >> 6u) & 0x3Fu));
+      out += static_cast<char>(0x80u | (cp & 0x3Fu));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800u && cp <= 0xDBFFu) {  // high surrogate: pair required
+            if (peek() != '\\') fail("unpaired surrogate");
+            ++pos_;
+            if (peek() != 'u') fail("unpaired surrogate");
+            ++pos_;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00u || lo > 0xDFFFu) fail("invalid low surrogate");
+            cp = 0x10000u + ((cp - 0xD800u) << 10u) + (lo - 0xDC00u);
+          } else if (cp >= 0xDC00u && cp <= 0xDFFFu) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (first == last || (*first == '-' && first + 1 == last)) fail("invalid number");
+    if (!is_double) {
+      i64 n = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, n);
+      if (ec == std::errc{} && ptr == last) return Json{n};
+      // Integer overflow: fall through to double.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc{} || ptr != last) fail("invalid number");
+    return Json{d};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("a bool");
+}
+
+i64 Json::as_int() const {
+  if (const i64* n = std::get_if<i64>(&value_)) return *n;
+  type_error("an integer");
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  if (const i64* n = std::get_if<i64>(&value_)) return static_cast<double>(*n);
+  type_error("a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("a string");
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("an array");
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("an object");
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) type_error("an object");
+  for (auto& [k, v] : *o) {
+    if (k == key) return v;
+  }
+  o->emplace_back(std::string{key}, Json{});
+  return o->back().second;
+}
+
+const Json& Json::at(std::string_view key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range{"Json: no member '" + std::string{key} + "'"};
+}
+
+bool Json::contains(std::string_view key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) return false;
+  for (const auto& [k, v] : *o) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(std::size_t index) const {
+  const Array& a = as_array();
+  if (index >= a.size()) throw std::out_of_range{"Json: array index out of range"};
+  return a[index];
+}
+
+void Json::push_back(Json element) {
+  if (is_null()) value_ = Array{};
+  Array* a = std::get_if<Array>(&value_);
+  if (a == nullptr) type_error("an array");
+  a->push_back(std::move(element));
+}
+
+std::size_t Json::size() const noexcept {
+  if (const Array* a = std::get_if<Array>(&value_)) return a->size();
+  if (const Object* o = std::get_if<Object>(&value_)) return o->size();
+  return 0;
+}
+
+void Json::write(std::ostream& os, int indent, int depth) const {
+  const auto newline = [&](int level) {
+    if (indent < 0) return;
+    os << '\n' << std::string(static_cast<std::size_t>(indent * level), ' ');
+  };
+  if (is_null()) {
+    os << "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const i64* n = std::get_if<i64>(&value_)) {
+    os << *n;
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    write_double(os, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    write_escaped(os, *s);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) os << ',';
+      newline(depth + 1);
+      (*a)[i].write(os, indent, depth + 1);
+    }
+    newline(depth);
+    os << ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    if (o->empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < o->size(); ++i) {
+      if (i > 0) os << ',';
+      newline(depth + 1);
+      write_escaped(os, (*o)[i].first);
+      os << (indent < 0 ? ":" : ": ");
+      (*o)[i].second.write(os, indent, depth + 1);
+    }
+    newline(depth);
+    os << '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  write(out, indent, 0);
+  return out.str();
+}
+
+void Json::dump(std::ostream& os, int indent) const { write(os, indent, 0); }
+
+Json Json::parse(std::string_view text) { return Parser{text}.run(); }
+
+void append_jsonl(std::ostream& os, const Json& value) {
+  value.dump(os, /*indent=*/-1);
+  os << '\n';
+}
+
+}  // namespace vpmem

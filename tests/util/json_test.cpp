@@ -1,0 +1,146 @@
+#include "vpmem/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpmem {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  const Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json{true}.dump(), "true");
+  EXPECT_EQ(Json{false}.dump(), "false");
+  EXPECT_EQ(Json{i64{42}}.dump(), "42");
+  EXPECT_EQ(Json{-7}.dump(), "-7");
+  EXPECT_EQ(Json{"hi"}.dump(), "\"hi\"");
+  EXPECT_EQ(Json{std::size_t{3}}.dump(), "3");
+}
+
+TEST(Json, IntegralDoubleKeepsDecimalPoint) {
+  // A double that happens to be integral must not round-trip into an int.
+  EXPECT_EQ(Json{2.0}.dump(), "2.0");
+  const Json back = Json::parse(Json{2.0}.dump());
+  EXPECT_TRUE(back.is_double());
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+  EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  j["alpha"] = 9;  // update in place, order unchanged
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, ArrayAndNestedAccess) {
+  Json j = Json::object();
+  j["rows"] = Json::array();
+  j["rows"].push_back(1);
+  j["rows"].push_back("two");
+  EXPECT_EQ(j.at("rows").size(), 2u);
+  EXPECT_EQ(j.at("rows").at(0).as_int(), 1);
+  EXPECT_EQ(j.at("rows").at(1).as_string(), "two");
+  EXPECT_TRUE(j.contains("rows"));
+  EXPECT_FALSE(j.contains("cols"));
+  EXPECT_THROW((void)j.at("cols"), std::out_of_range);
+  EXPECT_THROW((void)j.at("rows").at(2), std::out_of_range);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j{i64{1}};
+  EXPECT_THROW((void)j.as_string(), std::runtime_error);
+  EXPECT_THROW((void)j.as_array(), std::runtime_error);
+  EXPECT_THROW((void)j.as_bool(), std::runtime_error);
+  // as_double accepts ints (common for metrics).
+  EXPECT_DOUBLE_EQ(j.as_double(), 1.0);
+}
+
+TEST(Json, StringEscaping) {
+  const Json j{std::string{"a\"b\\c\n\t\x01"}};
+  EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, ParseWhitespaceAndLiterals) {
+  const Json j = Json::parse("  { \"a\" : [ true , false , null ] }  ");
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_TRUE(j.at("a").at(2).is_null());
+}
+
+TEST(Json, ParseNumbers) {
+  EXPECT_EQ(Json::parse("123").as_int(), 123);
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<i64>::min());
+  EXPECT_TRUE(Json::parse("1e3").is_double());
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5").as_double(), -0.5);
+  // Past-i64 integers degrade to double instead of failing.
+  EXPECT_TRUE(Json::parse("9223372036854775808").is_double());
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+  EXPECT_THROW(Json::parse("\"\\uD83D\""), std::runtime_error);   // unpaired high
+  EXPECT_THROW(Json::parse("\"\\uDE00\""), std::runtime_error);   // unpaired low
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("truee"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+}
+
+TEST(Json, PrettyPrint) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = Json::array();
+  j["b"].push_back(2);
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(Json, RoundTripComplexDocument) {
+  Json doc = Json::object();
+  doc["name"] = "vpmem";
+  doc["pi"] = 3.141592653589793;
+  doc["counts"] = Json::array();
+  for (int i = 0; i < 5; ++i) doc["counts"].push_back(i * i);
+  doc["nested"] = Json::object();
+  doc["nested"]["deep"] = Json::array();
+  doc["nested"]["deep"].push_back(Json{nullptr});
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_DOUBLE_EQ(back.at("pi").as_double(), 3.141592653589793);
+}
+
+TEST(Json, AppendJsonl) {
+  std::ostringstream out;
+  Json a = Json::object();
+  a["x"] = 1;
+  append_jsonl(out, a);
+  append_jsonl(out, Json{i64{2}});
+  EXPECT_EQ(out.str(), "{\"x\":1}\n2\n");
+}
+
+}  // namespace
+}  // namespace vpmem

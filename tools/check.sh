@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the simulator tests.
+#
+#   tools/check.sh          # full check: plain build + ctest, then ASan/UBSan
+#   tools/check.sh --fast   # plain build + ctest only
+#
+# The sanitizer pass rebuilds into build-asan/ with -fsanitize=address,undefined
+# (VPMEM_SANITIZE=ON) and reruns the sim + obs test binaries, which exercise
+# the event-hook multiplexer and the Collector's raw-pointer hot path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== done (fast mode: sanitizer pass skipped) =="
+  exit 0
+fi
+
+echo "== sanitizer pass: ASan + UBSan on sim/obs tests =="
+cmake -B build-asan -S . -DVPMEM_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs" --target \
+  sim_config_test sim_memory_system_test sim_steady_state_test sim_run_test \
+  sim_pattern_test obs_metrics_test obs_collector_test obs_report_test obs_timer_test
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -R \
+  '^(sim_|obs_)'
+
+echo "== all checks passed =="
