@@ -21,6 +21,12 @@
 //       Conflict-regime map over every relative start position.
 //   vpmem_cli kernel <name> <n> <inc> [--dedicated]
 //       Run copy/scale/sum/daxpy/triad/gather/scatter on the X-MP model.
+//   vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]
+//            [--no-shrink] [--replay LINE]
+//       Differential fuzzing: random configurations cross-checked against
+//       the naive reference model and the analytic theorems.  Failures
+//       print one-line repros; --replay re-executes one.  Exits 1 on any
+//       disagreement.
 //
 // Every subcommand accepts `--json <file>` and then also writes a
 // machine-readable record of its result ("-" writes the JSON to stdout
@@ -51,6 +57,8 @@ int usage() {
                "  vpmem_cli idim <m> <nc> <stride> <arrays> <min_elements>\n"
                "  vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
                "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n"
+               "  vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]\n"
+               "           [--no-shrink] [--replay LINE]\n"
                "options accepted by every subcommand:\n"
                "  --json <file>   also write a machine-readable JSON record\n"
                "                  ('-' = stdout); schema: vpmem.run_report/1 for\n"
@@ -69,6 +77,12 @@ struct Args {
   i64 length = 0;    // 0 = infinite streams (report subcommand)
   i64 cycles = 0;    // 0 = automatic window (report subcommand)
   std::string json_path;  // empty = no JSON output
+  // fuzz subcommand:
+  std::uint64_t seed = 0x0ed1a25;  // matches check::FuzzOptions default
+  bool seed_given = false;
+  std::string fault;        // reference-model mutation name
+  std::string replay_line;  // one-line repro to re-execute
+  bool no_shrink = false;
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -94,6 +108,18 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (a == "--json") {
       if (++i >= argc) return false;
       args.json_path = argv[i];
+    } else if (a == "--seed") {
+      if (++i >= argc) return false;
+      args.seed = std::strtoull(argv[i], nullptr, 0);
+      args.seed_given = true;
+    } else if (a == "--fault") {
+      if (++i >= argc) return false;
+      args.fault = argv[i];
+    } else if (a == "--replay") {
+      if (++i >= argc) return false;
+      args.replay_line = argv[i];
+    } else if (a == "--no-shrink") {
+      args.no_shrink = true;
     } else if (!a.empty() && (std::isdigit(static_cast<unsigned char>(a[0])) != 0)) {
       args.positional.push_back(std::atoll(a.c_str()));
     } else if (!a.empty() && a[0] != '-' && args.word.empty()) {
@@ -392,6 +418,99 @@ int cmd_idim(const Args& args) {
   return 0;
 }
 
+/// Full run context of a failing fuzz case, attached to the JSON record
+/// so the repro line comes with the complete RunReport of the offending
+/// configuration.  Mixed finite/infinite workloads have no report shape;
+/// those carry an "error" member instead.
+Json failure_report(const check::FuzzFailure& failure) {
+  Json entry = Json::object();
+  entry["iteration"] = failure.iteration;
+  entry["check"] = failure.check;
+  entry["message"] = failure.message;
+  entry["repro"] = failure.repro;
+  entry["shrunk_repro"] = failure.shrunk_repro;
+  try {
+    const check::FuzzCase c =
+        check::parse_repro(failure.shrunk_repro.empty() ? failure.repro : failure.shrunk_repro);
+    entry["report"] = obs::report_run(c.config, c.streams, {.cycles = c.cycles}).to_json();
+  } catch (const std::exception& e) {
+    entry["report_error"] = std::string{e.what()};
+  }
+  return entry;
+}
+
+int replay_one(const Args& args) {
+  const check::FuzzCase c = check::parse_repro(args.replay_line);
+  const check::CaseResult result =
+      check::check_case(c, {}, /*run_invariants=*/c.fault == check::FaultKind::none);
+  human(args) << "replay: " << check::encode_repro(c) << '\n';
+  for (const auto& f : result.failures) {
+    human(args) << "  FAIL [" << f.check << "] " << f.message << '\n';
+  }
+  if (result.ok()) {
+    human(args) << "  all " << result.checks_run << " checks passed ("
+                << result.events_compared << " events compared)\n";
+  }
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("fuzz");
+    doc["replay"] = args.replay_line;
+    doc["ok"] = result.ok();
+    doc["checks_run"] = result.checks_run;
+    doc["events_compared"] = result.events_compared;
+    Json failures = Json::array();
+    for (const auto& f : result.failures) {
+      Json entry = Json::object();
+      entry["check"] = f.check;
+      entry["message"] = f.message;
+      failures.push_back(std::move(entry));
+    }
+    doc["failures"] = std::move(failures);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_fuzz(const Args& args) {
+  if (!args.replay_line.empty()) return replay_one(args);
+  if (args.positional.size() > 1) return usage();
+
+  check::FuzzOptions options;
+  options.seed = args.seed;
+  if (!args.positional.empty()) options.iterations = args.positional[0];
+  if (args.cycles > 0) options.cycles = args.cycles;
+  if (!args.fault.empty()) options.fault = check::fault_from_string(args.fault);
+  options.shrink_failures = !args.no_shrink;
+
+  const check::FuzzSummary summary = check::fuzz(options);
+  human(args) << "fuzz: " << summary.iterations << " cases, " << summary.checks_run
+              << " checks, " << summary.events_compared << " events compared (seed 0x"
+              << std::hex << summary.seed << std::dec;
+  if (options.fault != check::FaultKind::none) {
+    human(args) << ", fault " << check::to_string(options.fault);
+  }
+  human(args) << ")\n";
+  for (const auto& f : summary.failures) {
+    human(args) << "FAIL iteration " << f.iteration << " [" << f.check << "] " << f.message
+                << "\n  replay:  " << f.repro << '\n';
+    if (!f.shrunk_repro.empty()) human(args) << "  shrunk:  " << f.shrunk_repro << '\n';
+  }
+  if (summary.ok()) {
+    human(args) << "no disagreements\n";
+  } else {
+    human(args) << summary.failures.size() << " failing case(s); re-run one with\n"
+                << "  vpmem_cli fuzz --replay '<line>'\n";
+  }
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("fuzz");
+    doc["summary"] = summary.to_json();
+    Json reports = Json::array();
+    for (const auto& f : summary.failures) reports.push_back(failure_report(f));
+    doc["failure_reports"] = std::move(reports);
+    if (!maybe_write_json(args, doc)) return 1;
+  }
+  return summary.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -408,6 +527,7 @@ int main(int argc, char** argv) {
     if (cmd == "idim") return cmd_idim(args);
     if (cmd == "diagnose") return cmd_diagnose(args);
     if (cmd == "kernel") return cmd_kernel(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,31 @@
+// Grant-for-grant comparison of sim::MemorySystem against the naive
+// ReferenceModel: both implementations run the same configuration for the
+// same number of clock periods, and every emitted event (grants *and*
+// per-period conflict classifications) plus the final per-port statistics
+// must match exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/check/reference_model.hpp"
+#include "vpmem/sim/config.hpp"
+
+namespace vpmem::check {
+
+/// Outcome of one differential run.
+struct DiffResult {
+  bool agreed = true;
+  i64 events_compared = 0;  ///< events matched before divergence (or total)
+  i64 grants = 0;           ///< grants the simulator issued in the window
+  std::string message;      ///< first divergence, human-readable; empty if agreed
+};
+
+/// Run both implementations for exactly `cycles` periods and compare.
+/// `fault` mutates the *reference* side only — a non-none fault models an
+/// arbitration bug that the comparison is expected to expose.
+[[nodiscard]] DiffResult diff_run(const sim::MemoryConfig& config,
+                                  const std::vector<sim::StreamConfig>& streams, i64 cycles,
+                                  FaultKind fault = FaultKind::none);
+
+}  // namespace vpmem::check

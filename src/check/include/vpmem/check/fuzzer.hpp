@@ -1,0 +1,91 @@
+// Config/stream fuzzer: samples memory configurations and access-stream
+// sets within the paper's valid ranges (SplitMix64-driven, fully
+// deterministic per seed) and cross-checks three independent oracles per
+// case — the cycle-accurate simulator, the naive reference model, and the
+// analytic theorems.  Every failure carries a one-line repro that
+// `vpmem_cli fuzz --replay` re-executes (see replay.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpmem/baseline/rng.hpp"
+#include "vpmem/check/invariants.hpp"
+#include "vpmem/check/reference_model.hpp"
+#include "vpmem/sim/config.hpp"
+#include "vpmem/util/json.hpp"
+
+namespace vpmem::check {
+
+/// One fuzzed scenario: a configuration, its streams, the differential
+/// cycle budget, and the reference-model mutation to inject (none for
+/// real cross-checking; a specific fault for harness-sensitivity tests).
+struct FuzzCase {
+  sim::MemoryConfig config;
+  std::vector<sim::StreamConfig> streams;
+  i64 cycles = 224;
+  FaultKind fault = FaultKind::none;
+};
+
+/// Outcome of checking a single case.
+struct CaseFailure {
+  std::string check;    ///< "differential" or an invariant name
+  std::string message;
+};
+
+struct CaseResult {
+  std::vector<CaseFailure> failures;
+  i64 checks_run = 0;
+  i64 events_compared = 0;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Differential comparison plus (optionally) the analytic invariants.
+[[nodiscard]] CaseResult check_case(const FuzzCase& fuzz_case,
+                                    const InvariantOptions& invariants = {},
+                                    bool run_invariants = true);
+
+struct FuzzOptions {
+  std::uint64_t seed = 0x0ed1a25;  ///< PRNG seed; the whole run is a pure
+                                   ///< function of it
+  i64 iterations = 500;
+  i64 cycles = 224;                ///< differential cycle budget per case
+  FaultKind fault = FaultKind::none;  ///< reference mutation (sensitivity runs)
+  bool run_invariants = true;
+  bool shrink_failures = true;
+  std::size_t max_failures = 8;    ///< stop fuzzing after this many
+  InvariantOptions invariants{};
+};
+
+struct FuzzFailure {
+  i64 iteration = 0;
+  std::string check;
+  std::string message;
+  std::string repro;         ///< full failing case, one line
+  std::string shrunk_repro;  ///< greedily minimized case (empty if not shrunk)
+};
+
+struct FuzzSummary {
+  i64 iterations = 0;        ///< cases actually checked
+  i64 checks_run = 0;        ///< differential + invariant checks executed
+  i64 events_compared = 0;   ///< simulator/reference events compared
+  std::uint64_t seed = 0;
+  std::vector<FuzzFailure> failures;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  /// Schema "vpmem.fuzz_summary/1"; embedded verbatim by the CLI.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Sample one scenario.  Half the cases take the canonical Section III-B
+/// shape (two affine infinite streams, flat memory, fixed priority) so
+/// the theorem oracles regularly fire; the rest roam the general space:
+/// 1-4 ports over up to 3 CPUs, sections s | m, both mappings and
+/// priority rules, affine (any-sign distances) and periodic-pattern
+/// streams, finite lengths, delayed starts.
+[[nodiscard]] FuzzCase sample_case(baseline::SplitMix64& rng, const FuzzOptions& options);
+
+/// Run the full fuzz loop.
+[[nodiscard]] FuzzSummary fuzz(const FuzzOptions& options);
+
+}  // namespace vpmem::check

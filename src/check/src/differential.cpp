@@ -1,0 +1,101 @@
+#include "vpmem/check/differential.hpp"
+
+#include <sstream>
+
+#include "vpmem/sim/memory_system.hpp"
+
+namespace vpmem::check {
+
+namespace {
+
+std::string describe(const sim::Event& e) {
+  std::ostringstream os;
+  os << (e.type == sim::Event::Type::grant ? "grant" : "conflict") << " cycle=" << e.cycle
+     << " port=" << e.port << " bank=" << e.bank << " element=" << e.element;
+  if (e.type == sim::Event::Type::conflict) {
+    os << " kind=" << sim::to_string(e.conflict) << " blocker=" << e.blocker;
+  }
+  return os.str();
+}
+
+bool same_event(const sim::Event& a, const sim::Event& b) {
+  if (a.type != b.type || a.cycle != b.cycle || a.port != b.port || a.bank != b.bank ||
+      a.element != b.element) {
+    return false;
+  }
+  // Classification and blocker only carry meaning for conflicts.
+  return a.type == sim::Event::Type::grant ||
+         (a.conflict == b.conflict && a.blocker == b.blocker);
+}
+
+std::string describe_stats(const sim::PortStats& s) {
+  std::ostringstream os;
+  os << "grants=" << s.grants << " bank=" << s.bank_conflicts
+     << " simultaneous=" << s.simultaneous_conflicts << " section=" << s.section_conflicts
+     << " first=" << s.first_grant_cycle << " last=" << s.last_grant_cycle
+     << " longest_stall=" << s.longest_stall;
+  return os.str();
+}
+
+bool same_stats(const sim::PortStats& a, const sim::PortStats& b) {
+  return a.grants == b.grants && a.bank_conflicts == b.bank_conflicts &&
+         a.simultaneous_conflicts == b.simultaneous_conflicts &&
+         a.section_conflicts == b.section_conflicts &&
+         a.first_grant_cycle == b.first_grant_cycle &&
+         a.last_grant_cycle == b.last_grant_cycle && a.longest_stall == b.longest_stall;
+}
+
+}  // namespace
+
+DiffResult diff_run(const sim::MemoryConfig& config,
+                    const std::vector<sim::StreamConfig>& streams, i64 cycles,
+                    FaultKind fault) {
+  DiffResult out;
+
+  sim::MemorySystem mem{config, streams};
+  std::vector<sim::Event> sim_events;
+  mem.add_event_hook([&sim_events](const sim::Event& e) { sim_events.push_back(e); });
+  mem.run(cycles, /*stop_when_finished=*/false);
+
+  ReferenceModel ref{config, streams, fault};
+  ref.run(cycles);
+
+  const std::vector<sim::Event>& ref_events = ref.events();
+  const std::size_t n = std::min(sim_events.size(), ref_events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!same_event(sim_events[i], ref_events[i])) {
+      out.agreed = false;
+      out.message = "event " + std::to_string(i) + " diverges: sim {" +
+                    describe(sim_events[i]) + "} vs reference {" + describe(ref_events[i]) +
+                    "}";
+      out.events_compared = static_cast<i64>(i);
+      return out;
+    }
+  }
+  if (sim_events.size() != ref_events.size()) {
+    out.agreed = false;
+    const bool sim_longer = sim_events.size() > ref_events.size();
+    const sim::Event& extra = sim_longer ? sim_events[n] : ref_events[n];
+    out.message = std::string{sim_longer ? "simulator" : "reference"} +
+                  " produced extra event " + std::to_string(n) + ": {" + describe(extra) + "}";
+    out.events_compared = static_cast<i64>(n);
+    return out;
+  }
+  out.events_compared = static_cast<i64>(n);
+
+  const std::vector<sim::PortStats> sim_stats = mem.all_stats();
+  const std::vector<sim::PortStats> ref_stats = ref.stats();
+  for (std::size_t p = 0; p < sim_stats.size(); ++p) {
+    out.grants += sim_stats[p].grants;
+    if (!same_stats(sim_stats[p], ref_stats[p])) {
+      out.agreed = false;
+      out.message = "port " + std::to_string(p) + " stats diverge: sim {" +
+                    describe_stats(sim_stats[p]) + "} vs reference {" +
+                    describe_stats(ref_stats[p]) + "}";
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace vpmem::check

@@ -1,0 +1,158 @@
+#include "vpmem/check/fuzzer.hpp"
+
+#include "vpmem/check/differential.hpp"
+#include "vpmem/check/replay.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::check {
+
+namespace {
+
+using baseline::SplitMix64;
+
+i64 pick(SplitMix64& rng, i64 bound) {
+  return static_cast<i64>(rng.next_below(static_cast<std::uint64_t>(bound)));
+}
+
+/// Bank counts biased toward divisor-rich values (sections, disjoint
+/// access sets) plus the paper's primes 13/17 and the degenerate m=1.
+constexpr i64 kBankChoices[] = {1, 2, 3, 4, 5, 6, 8, 9, 12, 13, 16, 17, 24, 32};
+
+sim::StreamConfig sample_stream(SplitMix64& rng, i64 m) {
+  sim::StreamConfig s;
+  s.cpu = pick(rng, 3);
+  if (pick(rng, 8) == 0) {
+    const i64 len = 1 + pick(rng, 8);
+    s.bank_pattern.reserve(static_cast<std::size_t>(len));
+    for (i64 k = 0; k < len; ++k) s.bank_pattern.push_back(pick(rng, m));
+  } else {
+    s.start_bank = pick(rng, m);
+    s.distance = pick(rng, 4 * m + 1) - 2 * m;  // any sign, zero included
+  }
+  if (pick(rng, 5) >= 3) s.length = 1 + pick(rng, 128);
+  if (pick(rng, 4) == 0) s.start_cycle = pick(rng, 9);
+  return s;
+}
+
+}  // namespace
+
+FuzzCase sample_case(SplitMix64& rng, const FuzzOptions& options) {
+  FuzzCase out;
+  out.cycles = options.cycles;
+  out.fault = options.fault;
+
+  const bool canonical = rng.next_below(2) == 0;
+  if (canonical) {
+    // The Section III-B shape the pair theorems are stated for: flat
+    // memory, fixed priority, two affine infinite streams on two CPUs.
+    i64 m = 1;
+    while (m < 3) m = kBankChoices[pick(rng, static_cast<i64>(std::size(kBankChoices)))];
+    out.config = sim::MemoryConfig{.banks = m, .sections = m,
+                                   .bank_cycle = 1 + pick(rng, 6)};
+    sim::StreamConfig s1;
+    s1.start_bank = pick(rng, m);
+    s1.distance = 1 + pick(rng, m - 1);
+    sim::StreamConfig s2;
+    s2.start_bank = pick(rng, m);
+    s2.distance = 1 + pick(rng, m - 1);
+    s2.cpu = 1;
+    out.streams = {s1, s2};
+    return out;
+  }
+
+  const i64 m = kBankChoices[pick(rng, static_cast<i64>(std::size(kBankChoices)))];
+  const std::vector<i64> divs = divisors(m);
+  // Bias toward the flat s = m memory (half the draws), else any divisor.
+  const i64 s = rng.next_below(2) == 0 ? m : divs[static_cast<std::size_t>(pick(
+                                             rng, static_cast<i64>(divs.size())))];
+  out.config = sim::MemoryConfig{
+      .banks = m,
+      .sections = s,
+      .bank_cycle = 1 + pick(rng, 6),
+      .mapping = pick(rng, 4) == 0 ? sim::SectionMapping::consecutive
+                                   : sim::SectionMapping::cyclic,
+      .priority = pick(rng, 4) == 0 ? sim::PriorityRule::cyclic : sim::PriorityRule::fixed};
+  const i64 ports = 1 + pick(rng, 4);
+  out.streams.reserve(static_cast<std::size_t>(ports));
+  for (i64 i = 0; i < ports; ++i) out.streams.push_back(sample_stream(rng, m));
+  return out;
+}
+
+CaseResult check_case(const FuzzCase& fuzz_case, const InvariantOptions& invariants,
+                      bool run_invariants) {
+  CaseResult result;
+  const DiffResult diff =
+      diff_run(fuzz_case.config, fuzz_case.streams, fuzz_case.cycles, fuzz_case.fault);
+  result.checks_run = 1;
+  result.events_compared = diff.events_compared;
+  if (!diff.agreed) result.failures.push_back({"differential", diff.message});
+
+  if (run_invariants) {
+    const InvariantReport report =
+        check_invariants(fuzz_case.config, fuzz_case.streams, invariants);
+    result.checks_run += static_cast<i64>(report.ran.size());
+    for (const auto& f : report.failures) result.failures.push_back({f.name, f.detail});
+  }
+  return result;
+}
+
+FuzzSummary fuzz(const FuzzOptions& options) {
+  FuzzSummary summary;
+  summary.seed = options.seed;
+  SplitMix64 rng{options.seed};
+
+  for (i64 iteration = 0; iteration < options.iterations; ++iteration) {
+    const FuzzCase fuzz_case = sample_case(rng, options);
+    const CaseResult result = check_case(fuzz_case, options.invariants, options.run_invariants);
+    ++summary.iterations;
+    summary.checks_run += result.checks_run;
+    summary.events_compared += result.events_compared;
+    if (result.ok()) continue;
+
+    FuzzFailure failure;
+    failure.iteration = iteration;
+    failure.check = result.failures.front().check;
+    failure.message = result.failures.front().message;
+    failure.repro = encode_repro(fuzz_case);
+    if (options.shrink_failures) {
+      const std::string& check_name = failure.check;
+      const FuzzCase shrunk =
+          shrink_case(fuzz_case, [&](const FuzzCase& candidate) {
+            const CaseResult r = check_case(candidate, options.invariants,
+                                            options.run_invariants);
+            for (const auto& f : r.failures) {
+              if (f.check == check_name) return true;
+            }
+            return false;
+          });
+      failure.shrunk_repro = encode_repro(shrunk);
+    }
+    summary.failures.push_back(std::move(failure));
+    if (summary.failures.size() >= options.max_failures) break;
+  }
+  return summary;
+}
+
+Json FuzzSummary::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = "vpmem.fuzz_summary/1";
+  doc["seed"] = static_cast<i64>(seed);
+  doc["iterations"] = iterations;
+  doc["checks_run"] = checks_run;
+  doc["events_compared"] = events_compared;
+  doc["ok"] = ok();
+  Json list = Json::array();
+  for (const auto& f : failures) {
+    Json entry = Json::object();
+    entry["iteration"] = f.iteration;
+    entry["check"] = f.check;
+    entry["message"] = f.message;
+    entry["repro"] = f.repro;
+    entry["shrunk_repro"] = f.shrunk_repro;
+    list.push_back(std::move(entry));
+  }
+  doc["failures"] = std::move(list);
+  return doc;
+}
+
+}  // namespace vpmem::check

@@ -1,0 +1,174 @@
+#include "vpmem/check/reference_model.hpp"
+
+#include <stdexcept>
+
+namespace vpmem::check {
+
+namespace {
+constexpr std::size_t kNobody = static_cast<std::size_t>(-1);
+}
+
+std::string to_string(FaultKind fault) {
+  switch (fault) {
+    case FaultKind::none: return "none";
+    case FaultKind::ignore_path_conflict: return "ignore-path-conflict";
+    case FaultKind::short_bank_busy: return "short-bank-busy";
+    case FaultKind::priority_inversion: return "priority-inversion";
+    case FaultKind::misclassify_simultaneous: return "misclassify-simultaneous";
+    case FaultKind::drop_rotation: return "drop-rotation";
+  }
+  return "?";
+}
+
+FaultKind fault_from_string(const std::string& name) {
+  for (FaultKind f : {FaultKind::none, FaultKind::ignore_path_conflict,
+                      FaultKind::short_bank_busy, FaultKind::priority_inversion,
+                      FaultKind::misclassify_simultaneous, FaultKind::drop_rotation}) {
+    if (to_string(f) == name) return f;
+  }
+  throw std::invalid_argument{"fault_from_string: unknown fault '" + name + "'"};
+}
+
+const std::vector<FaultKind>& all_faults() {
+  static const std::vector<FaultKind> kFaults = {
+      FaultKind::ignore_path_conflict, FaultKind::short_bank_busy,
+      FaultKind::priority_inversion, FaultKind::misclassify_simultaneous,
+      FaultKind::drop_rotation};
+  return kFaults;
+}
+
+ReferenceModel::ReferenceModel(sim::MemoryConfig config, std::vector<sim::StreamConfig> streams,
+                               FaultKind fault)
+    : config_{config}, streams_{std::move(streams)}, fault_{fault} {
+  config_.validate();
+  for (const auto& s : streams_) s.validate(config_);
+  issued_.assign(streams_.size(), 0);
+}
+
+i64 ReferenceModel::busy_length() const noexcept {
+  return fault_ == FaultKind::short_bank_busy ? std::max<i64>(1, config_.bank_cycle - 1)
+                                              : config_.bank_cycle;
+}
+
+bool ReferenceModel::bank_active_from_earlier(i64 bank, i64 t) const {
+  const i64 len = busy_length();
+  // Log cycles are non-decreasing, so scanning backwards can stop at the
+  // first event too old to still occupy a bank.
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->cycle + len <= t) break;
+    if (it->type == sim::Event::Type::grant && it->bank == bank && it->cycle < t) return true;
+  }
+  return false;
+}
+
+std::size_t ReferenceModel::same_period_bank_winner(i64 bank, i64 t) const {
+  for (auto it = log_.rbegin(); it != log_.rend() && it->cycle == t; ++it) {
+    if (it->type == sim::Event::Type::grant && it->bank == bank) return it->port;
+  }
+  return kNobody;
+}
+
+std::size_t ReferenceModel::same_period_path_winner(i64 cpu, i64 section, i64 t) const {
+  for (auto it = log_.rbegin(); it != log_.rend() && it->cycle == t; ++it) {
+    if (it->type == sim::Event::Type::grant && streams_[it->port].cpu == cpu &&
+        config_.section_of(it->bank) == section) {
+      return it->port;
+    }
+  }
+  return kNobody;
+}
+
+void ReferenceModel::step() {
+  const i64 t = now_;
+  const std::size_t p = streams_.size();
+  if (p == 0) {
+    ++now_;
+    return;
+  }
+  const bool cyclic = config_.priority == sim::PriorityRule::cyclic;
+  const std::size_t first = cyclic ? rr_ % p : 0;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t rank = fault_ == FaultKind::priority_inversion ? p - 1 - i : i;
+    const std::size_t idx = (first + rank) % p;
+    const sim::StreamConfig& s = streams_[idx];
+    if (issued_[idx] >= s.length || t < s.start_cycle) continue;
+
+    const i64 bank = s.bank_of(issued_[idx], config_.banks);
+    sim::Event ev{.type = sim::Event::Type::conflict,
+                  .cycle = t,
+                  .port = idx,
+                  .bank = bank,
+                  .element = issued_[idx],
+                  .conflict = sim::ConflictKind::bank,
+                  .blocker = idx};
+
+    // Rule 1: the bank was claimed this very period by a higher-priority
+    // port — simultaneous bank conflict across CPUs, section conflict
+    // within one CPU.
+    if (const std::size_t winner = same_period_bank_winner(bank, t); winner != kNobody) {
+      ev.blocker = winner;
+      ev.conflict = streams_[winner].cpu == s.cpu ? sim::ConflictKind::section
+                                                  : sim::ConflictKind::simultaneous;
+      if (fault_ == FaultKind::misclassify_simultaneous &&
+          ev.conflict == sim::ConflictKind::simultaneous) {
+        ev.conflict = sim::ConflictKind::section;
+      }
+      log_.push_back(ev);
+      continue;
+    }
+
+    // Rule 2: the bank is still active from a grant in an earlier period.
+    if (bank_active_from_earlier(bank, t)) {
+      ev.conflict = sim::ConflictKind::bank;
+      log_.push_back(ev);
+      continue;
+    }
+
+    // Rule 3: the access path (CPU, section) is occupied this period.
+    if (fault_ != FaultKind::ignore_path_conflict) {
+      const std::size_t winner = same_period_path_winner(s.cpu, config_.section_of(bank), t);
+      if (winner != kNobody) {
+        ev.blocker = winner;
+        ev.conflict = sim::ConflictKind::section;
+        log_.push_back(ev);
+        continue;
+      }
+    }
+
+    ev.type = sim::Event::Type::grant;
+    ev.blocker = idx;
+    log_.push_back(ev);
+    ++issued_[idx];
+  }
+
+  ++now_;
+  if (cyclic && fault_ != FaultKind::drop_rotation) rr_ = (rr_ + 1) % p;
+}
+
+void ReferenceModel::run(i64 cycles) {
+  for (i64 t = 0; t < cycles; ++t) step();
+}
+
+std::vector<sim::PortStats> ReferenceModel::stats() const {
+  std::vector<sim::PortStats> out(streams_.size());
+  for (const auto& e : log_) {
+    sim::PortStats& st = out[e.port];
+    if (e.type == sim::Event::Type::grant) {
+      ++st.grants;
+      if (st.first_grant_cycle < 0) st.first_grant_cycle = e.cycle;
+      st.last_grant_cycle = e.cycle;
+      st.current_stall = 0;
+      continue;
+    }
+    switch (e.conflict) {
+      case sim::ConflictKind::bank: ++st.bank_conflicts; break;
+      case sim::ConflictKind::simultaneous: ++st.simultaneous_conflicts; break;
+      case sim::ConflictKind::section: ++st.section_conflicts; break;
+    }
+    st.longest_stall = std::max(st.longest_stall, ++st.current_stall);
+  }
+  return out;
+}
+
+}  // namespace vpmem::check

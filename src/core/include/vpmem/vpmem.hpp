@@ -10,6 +10,8 @@
 //   vpmem::xmp       Cray X-MP machine model (Section IV)
 //   vpmem::skew      skewed storage schemes (the conclusion's remedy)
 //   vpmem::baseline  random-reference traffic (the [1]-[5] baseline)
+//   vpmem::check     differential fuzzing: reference model, invariants,
+//                    config fuzzer, deterministic replay + shrinking
 //   vpmem::core      facade: reports, advisor, groups, parallel sweeps
 #pragma once
 
@@ -20,6 +22,11 @@
 #include "vpmem/analytic/theorems.hpp"
 #include "vpmem/baseline/random_traffic.hpp"
 #include "vpmem/baseline/rng.hpp"
+#include "vpmem/check/differential.hpp"
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/invariants.hpp"
+#include "vpmem/check/reference_model.hpp"
+#include "vpmem/check/replay.hpp"
 #include "vpmem/core/advisor.hpp"
 #include "vpmem/core/bandwidth.hpp"
 #include "vpmem/core/diagnose.hpp"

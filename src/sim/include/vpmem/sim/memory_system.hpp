@@ -92,9 +92,12 @@ class MemorySystem {
   /// Number of hooks currently attached.
   [[nodiscard]] std::size_t event_hook_count() const noexcept;
 
-  /// Legacy single-hook interface: replaces the hook installed by a prior
-  /// set_event_hook call (hooks added via add_event_hook are unaffected);
-  /// pass nullptr to remove.
+  /// \deprecated Legacy single-hook interface, kept only for pre-
+  /// multiplexer callers; use add_event_hook/remove_event_hook in new
+  /// code.  Replaces the hook installed by a prior set_event_hook call
+  /// (hooks added via add_event_hook are unaffected); pass nullptr to
+  /// remove.  check_event_hook_shim_test pins the coexistence contract
+  /// with obs::Collector.
   void set_event_hook(EventHook hook);
 
   /// Opaque encoding of the machine state that determines all future

@@ -1,0 +1,78 @@
+// Replays the recorded fuzz corpus: every line under tests/check/corpus/
+// is a one-line repro (see replay.hpp).  Lines with an injected fault
+// must still be caught by the differential harness; lines with
+// fault=none are regression seeds that must pass all checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/replay.hpp"
+
+namespace vpmem {
+namespace {
+
+struct CorpusLine {
+  std::string file;
+  int line_number = 0;
+  std::string text;
+};
+
+std::vector<CorpusLine> load_corpus() {
+  std::vector<CorpusLine> lines;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator{VPMEM_CHECK_CORPUS_DIR}) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in{path};
+    std::string text;
+    int number = 0;
+    while (std::getline(in, text)) {
+      ++number;
+      if (text.empty() || text[0] == '#') continue;
+      lines.push_back({path.filename().string(), number, text});
+    }
+  }
+  return lines;
+}
+
+TEST(Corpus, HasRecordedSeeds) {
+  const auto corpus = load_corpus();
+  EXPECT_FALSE(corpus.empty()) << "no repro lines under " << VPMEM_CHECK_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryLineReplaysWithItsExpectedVerdict) {
+  for (const auto& entry : load_corpus()) {
+    SCOPED_TRACE(entry.file + ":" + std::to_string(entry.line_number) + ": " + entry.text);
+    check::FuzzCase fuzz_case;
+    ASSERT_NO_THROW(fuzz_case = check::parse_repro(entry.text));
+    const check::CaseResult result =
+        check::check_case(fuzz_case, {}, /*run_invariants=*/fuzz_case.fault ==
+                                             check::FaultKind::none);
+    if (fuzz_case.fault == check::FaultKind::none) {
+      for (const auto& f : result.failures) {
+        ADD_FAILURE() << "[" << f.check << "] " << f.message;
+      }
+    } else {
+      EXPECT_FALSE(result.ok()) << "injected fault no longer caught";
+    }
+  }
+}
+
+TEST(Corpus, LinesAreCanonicallyEncoded) {
+  // Each recorded line must round-trip byte-for-byte, so the corpus stays
+  // greppable and diffs cleanly.
+  for (const auto& entry : load_corpus()) {
+    EXPECT_EQ(check::encode_repro(check::parse_repro(entry.text)), entry.text)
+        << entry.file << ":" << entry.line_number;
+  }
+}
+
+}  // namespace
+}  // namespace vpmem

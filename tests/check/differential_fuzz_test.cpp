@@ -1,0 +1,88 @@
+// The headline acceptance tests for the differential harness: 500
+// randomized configurations (fixed seed) with zero simulator/reference/
+// theorem disagreements, and every deliberately injected arbitration bug
+// caught within 100 iterations.
+#include <gtest/gtest.h>
+
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/replay.hpp"
+
+namespace vpmem {
+namespace {
+
+using check::FaultKind;
+using check::FuzzOptions;
+using check::FuzzSummary;
+
+TEST(DifferentialFuzz, FiveHundredRandomConfigsAgree) {
+  FuzzOptions options;
+  options.seed = 0x0ed1985;  // fixed: the whole run is deterministic
+  options.iterations = 500;
+  const FuzzSummary summary = check::fuzz(options);
+  EXPECT_EQ(summary.iterations, 500);
+  for (const auto& f : summary.failures) {
+    ADD_FAILURE() << "iteration " << f.iteration << " [" << f.check << "] " << f.message
+                  << "\n  replay: " << f.repro;
+  }
+  // Every iteration runs the differential plus applicable invariants.
+  EXPECT_GE(summary.checks_run, 500 * 2);
+  EXPECT_GT(summary.events_compared, 100'000);
+}
+
+TEST(DifferentialFuzz, InjectedArbitrationBugsCaughtWithin100Iterations) {
+  for (FaultKind fault : check::all_faults()) {
+    FuzzOptions options;
+    options.seed = 0x0ed1985;
+    options.iterations = 100;
+    options.fault = fault;
+    options.run_invariants = false;  // isolate the differential oracle
+    options.max_failures = 1;
+    const FuzzSummary summary = check::fuzz(options);
+    ASSERT_FALSE(summary.ok()) << "fault " << check::to_string(fault)
+                               << " survived 100 iterations undetected";
+    const check::FuzzFailure& f = summary.failures.front();
+    EXPECT_EQ(f.check, "differential");
+    EXPECT_LT(f.iteration, 100);
+    // The shrunk repro must still reproduce the disagreement and must not
+    // be larger than the original case.
+    ASSERT_FALSE(f.shrunk_repro.empty());
+    const check::FuzzCase original = check::parse_repro(f.repro);
+    const check::FuzzCase shrunk = check::parse_repro(f.shrunk_repro);
+    EXPECT_EQ(shrunk.fault, fault);
+    EXPECT_LE(shrunk.streams.size(), original.streams.size());
+    EXPECT_LE(shrunk.cycles, original.cycles);
+    const check::CaseResult replayed = check::check_case(shrunk, {}, false);
+    EXPECT_FALSE(replayed.ok()) << check::to_string(fault) << ": shrunk repro no longer fails";
+  }
+}
+
+TEST(DifferentialFuzz, SummaryJsonRoundTrips) {
+  FuzzOptions options;
+  options.iterations = 5;
+  options.fault = FaultKind::short_bank_busy;
+  options.run_invariants = false;
+  const FuzzSummary summary = check::fuzz(options);
+  const Json doc = summary.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "vpmem.fuzz_summary/1");
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+  EXPECT_EQ(doc.at("iterations").as_int(), summary.iterations);
+  EXPECT_EQ(doc.at("failures").size(), summary.failures.size());
+}
+
+TEST(DifferentialFuzz, DeterministicPerSeed) {
+  FuzzOptions options;
+  options.iterations = 40;
+  options.fault = FaultKind::priority_inversion;
+  options.run_invariants = false;
+  const FuzzSummary a = check::fuzz(options);
+  const FuzzSummary b = check::fuzz(options);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].repro, b.failures[i].repro);
+    EXPECT_EQ(a.failures[i].shrunk_repro, b.failures[i].shrunk_repro);
+  }
+  EXPECT_EQ(a.events_compared, b.events_compared);
+}
+
+}  // namespace
+}  // namespace vpmem

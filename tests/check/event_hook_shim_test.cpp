@@ -1,0 +1,84 @@
+// Regression: the legacy set_event_hook shim and the hook multiplexer
+// must coexist — attaching a Collector never drops a legacy hook and vice
+// versa, and removing the legacy hook leaves the Collector attached.
+#include <gtest/gtest.h>
+
+#include "vpmem/obs/collector.hpp"
+#include "vpmem/sim/memory_system.hpp"
+
+namespace vpmem {
+namespace {
+
+sim::MemorySystem make_system() {
+  return sim::MemorySystem{sim::MemoryConfig{.banks = 13, .sections = 13, .bank_cycle = 4},
+                           sim::two_streams(0, 1, 4, 6)};
+}
+
+TEST(EventHookShim, LegacyHookAndCollectorBothFire) {
+  sim::MemorySystem mem = make_system();
+  i64 legacy_events = 0;
+  mem.set_event_hook([&legacy_events](const sim::Event&) { ++legacy_events; });
+  EXPECT_EQ(mem.event_hook_count(), 1u);
+
+  obs::Collector collector{mem};
+  EXPECT_EQ(mem.event_hook_count(), 2u);
+
+  mem.run(100, /*stop_when_finished=*/false);
+  collector.finish();
+
+  EXPECT_GT(legacy_events, 0);
+  i64 collector_events = 0;
+  for (const auto& stats : collector.port_stats()) {
+    collector_events += stats.grants + stats.total_conflicts();
+  }
+  // Both observers saw the same stream of events.
+  EXPECT_EQ(collector_events, legacy_events);
+}
+
+TEST(EventHookShim, ReplacingLegacyHookKeepsCollector) {
+  sim::MemorySystem mem = make_system();
+  obs::Collector collector{mem};
+  i64 first = 0;
+  i64 second = 0;
+  mem.set_event_hook([&first](const sim::Event&) { ++first; });
+  mem.run(50, /*stop_when_finished=*/false);
+  // Replacing the legacy hook must not disturb the Collector's slot.
+  mem.set_event_hook([&second](const sim::Event&) { ++second; });
+  EXPECT_EQ(mem.event_hook_count(), 2u);
+  mem.run(50, /*stop_when_finished=*/false);
+  EXPECT_GT(first, 0);
+  EXPECT_GT(second, 0);
+
+  // Removing the legacy hook leaves only the Collector attached.
+  mem.set_event_hook(nullptr);
+  EXPECT_EQ(mem.event_hook_count(), 1u);
+  mem.run(50, /*stop_when_finished=*/false);
+  collector.finish();
+
+  // The Collector observed all 150 cycles: its totals still reconcile
+  // with the simulator's own counters.
+  const auto expected = mem.all_stats();
+  const auto actual = collector.port_stats();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t p = 0; p < expected.size(); ++p) {
+    EXPECT_EQ(actual[p].grants, expected[p].grants) << p;
+    EXPECT_EQ(actual[p].total_conflicts(), expected[p].total_conflicts()) << p;
+  }
+}
+
+TEST(EventHookShim, RemovingCollectorKeepsLegacyHook) {
+  sim::MemorySystem mem = make_system();
+  i64 legacy_events = 0;
+  mem.set_event_hook([&legacy_events](const sim::Event&) { ++legacy_events; });
+  {
+    obs::Collector collector{mem};
+    mem.run(50, /*stop_when_finished=*/false);
+  }  // Collector detaches on destruction.
+  EXPECT_EQ(mem.event_hook_count(), 1u);
+  const i64 before = legacy_events;
+  mem.run(50, /*stop_when_finished=*/false);
+  EXPECT_GT(legacy_events, before);
+}
+
+}  // namespace
+}  // namespace vpmem

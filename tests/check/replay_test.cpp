@@ -1,0 +1,142 @@
+// Deterministic replay: a failure's one-line repro must encode the whole
+// case, survive a parse round trip, reject malformed input loudly, and
+// shrink to a smaller case that still fails the same check.
+#include <gtest/gtest.h>
+
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/replay.hpp"
+
+namespace vpmem {
+namespace {
+
+using check::FaultKind;
+using check::FuzzCase;
+
+FuzzCase sample_mixed_case() {
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 16,
+                                       .sections = 4,
+                                       .bank_cycle = 3,
+                                       .mapping = sim::SectionMapping::consecutive,
+                                       .priority = sim::PriorityRule::cyclic};
+  fuzz_case.streams = {
+      sim::StreamConfig{.start_bank = 3, .distance = -5, .cpu = 1, .length = 40,
+                        .start_cycle = 2},
+      sim::StreamConfig{.cpu = 2, .bank_pattern = {0, 7, 7, 12}},
+      sim::StreamConfig{.start_bank = 0, .distance = 0}};
+  fuzz_case.cycles = 96;
+  fuzz_case.fault = FaultKind::misclassify_simultaneous;
+  return fuzz_case;
+}
+
+TEST(Replay, EncodeParseRoundTripPreservesEveryField) {
+  const FuzzCase original = sample_mixed_case();
+  const std::string line = check::encode_repro(original);
+  EXPECT_EQ(line.rfind(check::kReproSchema, 0), 0u) << line;
+  const FuzzCase parsed = check::parse_repro(line);
+  EXPECT_EQ(parsed.config.banks, original.config.banks);
+  EXPECT_EQ(parsed.config.sections, original.config.sections);
+  EXPECT_EQ(parsed.config.bank_cycle, original.config.bank_cycle);
+  EXPECT_EQ(parsed.config.mapping, original.config.mapping);
+  EXPECT_EQ(parsed.config.priority, original.config.priority);
+  EXPECT_EQ(parsed.cycles, original.cycles);
+  EXPECT_EQ(parsed.fault, original.fault);
+  ASSERT_EQ(parsed.streams.size(), original.streams.size());
+  for (std::size_t i = 0; i < original.streams.size(); ++i) {
+    EXPECT_EQ(parsed.streams[i].start_bank, original.streams[i].start_bank) << i;
+    EXPECT_EQ(parsed.streams[i].distance, original.streams[i].distance) << i;
+    EXPECT_EQ(parsed.streams[i].cpu, original.streams[i].cpu) << i;
+    EXPECT_EQ(parsed.streams[i].length, original.streams[i].length) << i;
+    EXPECT_EQ(parsed.streams[i].start_cycle, original.streams[i].start_cycle) << i;
+    EXPECT_EQ(parsed.streams[i].bank_pattern, original.streams[i].bank_pattern) << i;
+  }
+  // And re-encoding the parsed case is byte-identical.
+  EXPECT_EQ(check::encode_repro(parsed), line);
+}
+
+TEST(Replay, EncodingIsHumanReadable) {
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 13, .sections = 13, .bank_cycle = 4};
+  fuzz_case.streams = sim::two_streams(0, 1, 4, 6);
+  fuzz_case.cycles = 224;
+  EXPECT_EQ(check::encode_repro(fuzz_case),
+            "vpmem.fuzz/1 m=13 s=13 nc=4 map=cyclic prio=fixed cycles=224 fault=none "
+            "stream=b0,d1,c0,linf,t0 stream=b4,d6,c1,linf,t0");
+}
+
+TEST(Replay, ParseRejectsMalformedLines) {
+  const auto reject = [](const std::string& line) {
+    EXPECT_THROW(static_cast<void>(check::parse_repro(line)), std::invalid_argument) << line;
+  };
+  reject("");
+  reject("not-the-schema m=4 s=4 nc=1");
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 bogus");                    // token without '='
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 color=red");                // unknown key
+  reject("vpmem.fuzz/1 m=4x s=4 nc=1");                         // trailing garbage
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 map=diagonal");             // unknown mapping
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 prio=random");              // unknown priority
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 fault=no-such-fault");
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=c0,linf,t0");        // no banks
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b0,d1,q9");          // unknown field
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=p,c0");              // empty pattern
+  reject("vpmem.fuzz/1 m=4 s=3 nc=1 stream=b0,d1");             // s does not divide m
+  reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b7,d1");             // bank out of range
+}
+
+TEST(Replay, ShrinkDropsRedundantStreamsAndCycles) {
+  // short_bank_busy diverges with any single self-conflicting stream, so
+  // the two extra streams and most of the cycle budget are removable.
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 8, .sections = 8, .bank_cycle = 3};
+  fuzz_case.streams = {sim::StreamConfig{.start_bank = 0, .distance = 0, .start_cycle = 4},
+                       sim::StreamConfig{.start_bank = 1, .distance = 2, .cpu = 1},
+                       sim::StreamConfig{.start_bank = 5, .distance = 4, .cpu = 2}};
+  fuzz_case.cycles = 224;
+  fuzz_case.fault = FaultKind::short_bank_busy;
+  const auto still_fails = [](const FuzzCase& candidate) {
+    return !check::check_case(candidate, {}, /*run_invariants=*/false).ok();
+  };
+  ASSERT_TRUE(still_fails(fuzz_case));
+  const FuzzCase shrunk = check::shrink_case(fuzz_case, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  // A single self-conflicting stream suffices (d=0 and d=4 both are, at
+  // m=8, nc=3); which one survives depends on removal order.
+  EXPECT_EQ(shrunk.streams.size(), 1u);
+  EXPECT_LE(shrunk.cycles, 14);  // 224 halves down until the fault needs the window
+  EXPECT_EQ(shrunk.streams[0].start_cycle, 0);
+}
+
+TEST(Replay, ShrinkKeepsLoadBearingStreams) {
+  // misclassify_simultaneous needs two ports on *different* CPUs hitting
+  // the same bank; shrinking must not drop below that pair.
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 8, .sections = 8, .bank_cycle = 2};
+  fuzz_case.streams = sim::two_streams(0, 1, 0, 1);
+  fuzz_case.cycles = 100;
+  fuzz_case.fault = FaultKind::misclassify_simultaneous;
+  const auto still_fails = [](const FuzzCase& candidate) {
+    return !check::check_case(candidate, {}, /*run_invariants=*/false).ok();
+  };
+  ASSERT_TRUE(still_fails(fuzz_case));
+  const FuzzCase shrunk = check::shrink_case(fuzz_case, still_fails);
+  EXPECT_EQ(shrunk.streams.size(), 2u);
+  EXPECT_TRUE(still_fails(shrunk));
+}
+
+TEST(Replay, ShrunkReproReplaysIdentically) {
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 4, .sections = 4, .bank_cycle = 2};
+  fuzz_case.streams = {sim::StreamConfig{.start_bank = 2, .distance = 0}};
+  fuzz_case.cycles = 32;
+  fuzz_case.fault = FaultKind::short_bank_busy;
+  const auto still_fails = [](const FuzzCase& candidate) {
+    return !check::check_case(candidate, {}, /*run_invariants=*/false).ok();
+  };
+  const FuzzCase shrunk = check::shrink_case(fuzz_case, still_fails);
+  const FuzzCase replayed = check::parse_repro(check::encode_repro(shrunk));
+  EXPECT_EQ(check::encode_repro(replayed), check::encode_repro(shrunk));
+  EXPECT_TRUE(still_fails(replayed));
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,95 @@
+// Coverage for the perf-telemetry accessors (cycles_per_second and its
+// wall_seconds == 0 guard on SteadyState, OffsetSweep and PerfReport) and
+// for carrying fuzz results through the RunReport machinery.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/replay.hpp"
+#include "vpmem/obs/report.hpp"
+#include "vpmem/sim/steady_state.hpp"
+
+namespace vpmem {
+namespace {
+
+sim::MemoryConfig flat(i64 m, i64 nc) {
+  return sim::MemoryConfig{.banks = m, .sections = m, .bank_cycle = nc};
+}
+
+TEST(PerfTelemetry, CyclesPerSecondGuardsAgainstZeroWallTime) {
+  sim::SteadyState ss;
+  ss.cycles_simulated = 1000;
+  ss.wall_seconds = 0.0;
+  EXPECT_EQ(ss.cycles_per_second(), 0.0);
+  ss.wall_seconds = 0.25;
+  EXPECT_DOUBLE_EQ(ss.cycles_per_second(), 4000.0);
+
+  sim::OffsetSweep sweep;
+  sweep.cycles_simulated = 500;
+  EXPECT_EQ(sweep.cycles_per_second(), 0.0);
+  sweep.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(sweep.cycles_per_second(), 250.0);
+
+  obs::PerfReport perf;
+  perf.cycles_simulated = 300;
+  EXPECT_EQ(perf.cycles_per_second(), 0.0);
+  perf.wall_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(perf.cycles_per_second(), 100.0);
+  perf.wall_seconds = -1.0;  // clock went backwards: still guarded
+  EXPECT_EQ(perf.cycles_per_second(), 0.0);
+}
+
+TEST(PerfTelemetry, DetectionAndSweepReportPositiveCycleCounts) {
+  const sim::SteadyState ss = sim::find_steady_state(flat(13, 4), sim::two_streams(0, 1, 4, 6));
+  EXPECT_GT(ss.cycles_simulated, 0);
+  EXPECT_GE(ss.wall_seconds, 0.0);
+  const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(8, 2), 1, 3);
+  EXPECT_GT(sweep.cycles_simulated, 0);
+  EXPECT_GE(sweep.cycles_per_second(), 0.0);
+}
+
+TEST(FuzzReporting, FailingCaseRoundTripsThroughRunReport) {
+  // A fuzz failure's configuration must be expressible as a RunReport so
+  // `vpmem_cli fuzz --json` can attach full run context to each repro.
+  check::FuzzOptions options;
+  options.iterations = 30;
+  options.fault = check::FaultKind::ignore_path_conflict;
+  options.run_invariants = false;
+  const check::FuzzSummary summary = check::fuzz(options);
+  ASSERT_FALSE(summary.ok());
+  const check::FuzzCase failing = check::parse_repro(summary.failures.front().repro);
+
+  const obs::RunReport report = obs::report_run(failing.config, failing.streams,
+                                                {.cycles = failing.cycles});
+  const Json doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kRunReportSchema);
+  const obs::RunReport back = obs::RunReport::from_json(doc);
+  EXPECT_EQ(back.kind, report.kind);
+  EXPECT_EQ(back.cycles, report.cycles);
+  EXPECT_EQ(back.config.banks, failing.config.banks);
+  EXPECT_EQ(back.streams.size(), failing.streams.size());
+  EXPECT_EQ(back.to_json(), doc);
+}
+
+TEST(FuzzReporting, SummaryJsonCarriesReprosVerbatim) {
+  check::FuzzOptions options;
+  options.iterations = 40;
+  options.fault = check::FaultKind::short_bank_busy;
+  options.run_invariants = false;
+  const check::FuzzSummary summary = check::fuzz(options);
+  ASSERT_FALSE(summary.ok());
+  const Json doc = summary.to_json();
+  const Json reparsed = Json::parse(doc.dump());
+  const auto& failures = reparsed.at("failures");
+  ASSERT_EQ(failures.size(), summary.failures.size());
+  for (std::size_t i = 0; i < summary.failures.size(); ++i) {
+    EXPECT_EQ(failures.at(i).at("repro").as_string(), summary.failures[i].repro);
+    // Each repro must parse back into a runnable case.
+    EXPECT_NO_THROW(static_cast<void>(
+        check::parse_repro(failures.at(i).at("repro").as_string())));
+  }
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -3,31 +3,43 @@
 #
 #   tools/check.sh          # full check: plain build + ctest, then ASan/UBSan
 #   tools/check.sh --fast   # plain build + ctest only
+#   tools/check.sh --fuzz   # full check, then an extended differential
+#                           # fuzz run (vpmem_cli fuzz, 20k cases)
 #
 # The sanitizer pass rebuilds into build-asan/ with -fsanitize=address,undefined
-# (VPMEM_SANITIZE=ON) and reruns the sim + obs test binaries, which exercise
-# the event-hook multiplexer and the Collector's raw-pointer hot path.
+# (VPMEM_SANITIZE=ON) and reruns the sim + obs + check test binaries, which
+# exercise the event-hook multiplexer, the Collector's raw-pointer hot path
+# and the reference model's event-log scans.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-}"
 
 echo "== tier 1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-if [[ "${1:-}" == "--fast" ]]; then
+if [[ "$mode" == "--fast" ]]; then
   echo "== done (fast mode: sanitizer pass skipped) =="
   exit 0
 fi
 
-echo "== sanitizer pass: ASan + UBSan on sim/obs tests =="
+echo "== sanitizer pass: ASan + UBSan on sim/obs/check tests =="
 cmake -B build-asan -S . -DVPMEM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   sim_config_test sim_memory_system_test sim_steady_state_test sim_run_test \
-  sim_pattern_test obs_metrics_test obs_collector_test obs_report_test obs_timer_test
+  sim_pattern_test obs_metrics_test obs_collector_test obs_report_test obs_timer_test \
+  check_reference_model_test check_differential_fuzz_test check_replay_test
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -R \
-  '^(sim_|obs_)'
+  '^(sim_|obs_|check_reference_model|check_differential_fuzz|check_replay)'
+
+if [[ "$mode" == "--fuzz" ]]; then
+  echo "== extended differential fuzz: 20k cases =="
+  # A different seed than the ctest runs, so this pass explores new
+  # configurations on every harness change; still deterministic.
+  ./build/examples/vpmem_cli fuzz 20000 --seed 0x20250807
+fi
 
 echo "== all checks passed =="
