@@ -27,8 +27,29 @@ void bm_step(benchmark::State& state) {
                         make_streams(ports, m)};
   for (auto _ : state) mem.step();
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * ports);
+  state.counters["cycles_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(bm_step)->Args({1, 16})->Args({2, 16})->Args({6, 16})->Args({6, 64})->Args({16, 256});
+
+// The same workloads with the full tracing v2 stack attached (bounded
+// event buffer + attribution fold on one hook).  Comparing
+// cycles_per_second against the matching bm_step row gives the tracer
+// overhead; steady_perf_test asserts the ratio stays under 2x.
+void bm_step_traced(benchmark::State& state) {
+  const i64 ports = state.range(0);
+  const i64 m = state.range(1);
+  sim::MemorySystem mem{{.banks = m, .sections = m / 4, .bank_cycle = 4},
+                        make_streams(ports, m)};
+  obs::Tracer tracer{mem};
+  for (auto _ : state) mem.step();
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * ports);
+  state.counters["cycles_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(tracer.buffer().recorded()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_step_traced)->Args({2, 16})->Args({6, 64})->Args({16, 256});
 
 void bm_find_steady_state(benchmark::State& state) {
   const sim::MemoryConfig cfg{.banks = state.range(0), .sections = state.range(0),

@@ -27,6 +27,14 @@
 //       the naive reference model and the analytic theorems.  Failures
 //       print one-line repros; --replay re-executes one.  Exits 1 on any
 //       disagreement.
+//   vpmem_cli trace <m> <nc> <d1> [d2 [b1 b2]] [--out trace.json]
+//            [--length n] [--cycles N] [--window N] [--no-attribution]
+//            [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]
+//       Run the configuration with the tracer attached and write a Chrome
+//       trace-event / Perfetto JSON file (schema vpmem.trace/1) — load it
+//       at ui.perfetto.dev.  Infinite streams default to a transient +
+//       one-period window; the attribution summary also lands in the
+//       --json envelope.
 //
 // Every subcommand accepts `--json <file>` and then also writes a
 // machine-readable record of its result ("-" writes the JSON to stdout
@@ -59,6 +67,9 @@ int usage() {
                "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n"
                "  vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]\n"
                "           [--no-shrink] [--replay LINE]\n"
+               "  vpmem_cli trace <m> <nc> <d1> [d2 [b1 b2]] [--out trace.json]\n"
+               "           [--length n] [--cycles N] [--window N] [--no-attribution]\n"
+               "           [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]\n"
                "options accepted by every subcommand:\n"
                "  --json <file>   also write a machine-readable JSON record\n"
                "                  ('-' = stdout); schema: vpmem.run_report/1 for\n"
@@ -77,6 +88,10 @@ struct Args {
   i64 length = 0;    // 0 = infinite streams (report subcommand)
   i64 cycles = 0;    // 0 = automatic window (report subcommand)
   std::string json_path;  // empty = no JSON output
+  // trace subcommand:
+  std::string out;           // trace file path (empty = "trace.json")
+  i64 window = 0;            // 0 = attribution default (64)
+  bool no_attribution = false;
   // fuzz subcommand:
   std::uint64_t seed = 0x0ed1a25;  // matches check::FuzzOptions default
   bool seed_given = false;
@@ -108,6 +123,16 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (a == "--json") {
       if (++i >= argc) return false;
       args.json_path = argv[i];
+    } else if (a == "--out") {
+      if (++i >= argc) return false;
+      args.out = argv[i];
+    } else if (a == "--window") {
+      if (++i >= argc) return false;
+      args.window = std::atoll(argv[i]);
+    } else if (a == "--attribution") {
+      args.no_attribution = false;  // the default; accepted for symmetry
+    } else if (a == "--no-attribution") {
+      args.no_attribution = true;
     } else if (a == "--seed") {
       if (++i >= argc) return false;
       args.seed = std::strtoull(argv[i], nullptr, 0);
@@ -283,12 +308,9 @@ int cmd_render(const Args& args) {
   return 0;
 }
 
-int cmd_report(const Args& args) {
-  if (args.positional.size() != 3 && args.positional.size() != 4 &&
-      args.positional.size() != 6) {
-    return usage();
-  }
-  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+/// The report/trace positional convention: <m> <nc> <d1> [d2 [b1 b2]],
+/// one stream or two, with --length making the streams finite.
+std::vector<sim::StreamConfig> report_streams(const Args& args) {
   std::vector<sim::StreamConfig> streams;
   if (args.positional.size() == 3) {
     streams.push_back(sim::StreamConfig{.start_bank = 0, .distance = args.positional[2]});
@@ -300,6 +322,16 @@ int cmd_report(const Args& args) {
   if (args.length > 0) {
     for (auto& s : streams) s.length = args.length;
   }
+  return streams;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.size() != 3 && args.positional.size() != 4 &&
+      args.positional.size() != 6) {
+    return usage();
+  }
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const std::vector<sim::StreamConfig> streams = report_streams(args);
   obs::ReportOptions options;
   options.cycles = args.cycles;
   const obs::RunReport report = obs::report_run(cfg, streams, options);
@@ -511,6 +543,84 @@ int cmd_fuzz(const Args& args) {
   return summary.ok() ? 0 : 1;
 }
 
+int cmd_trace(const Args& args) {
+  if (args.positional.size() != 3 && args.positional.size() != 4 &&
+      args.positional.size() != 6) {
+    return usage();
+  }
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const std::vector<sim::StreamConfig> streams = report_streams(args);
+  const bool infinite = streams.front().length == sim::kInfiniteLength;
+
+  i64 window = args.cycles;
+  if (infinite && window <= 0) {
+    // Same automatic window as `report`: the transient plus one full
+    // steady-state period, so the trace shows startup and the cycle.
+    const sim::SteadyState ss = sim::find_steady_state(cfg, streams);
+    window = ss.transient_cycles + ss.period;
+  }
+
+  sim::MemorySystem mem{cfg, streams};
+  obs::TracerOptions options;
+  options.attribution = !args.no_attribution;
+  if (args.window > 0) options.window = args.window;
+  obs::Tracer tracer{mem, options};
+  if (window > 0) {
+    mem.run(window, /*stop_when_finished=*/!infinite);
+  } else {
+    mem.run(1'000'000, /*stop_when_finished=*/true);
+    if (!mem.finished()) {
+      std::cerr << "error: finite workload did not finish within 1000000 cycles; "
+                   "pass --cycles\n";
+      return 1;
+    }
+  }
+  tracer.finish();
+
+  const std::string path = args.out.empty() ? "trace.json" : args.out;
+  tracer.save_chrome_trace(path);
+
+  const sim::EventBuffer& buf = tracer.buffer();
+  human(args) << "trace: " << mem.now() << " cycles, " << buf.recorded() << " events ("
+              << buf.dropped() << " evicted) -> " << path
+              << "\nload it at ui.perfetto.dev or chrome://tracing\n";
+  if (const obs::ConflictAttribution* a = tracer.attribution()) {
+    sim::ConflictTotals lost;
+    for (std::size_t p = 0; p < a->port_count(); ++p) {
+      const sim::ConflictTotals t = a->totals(p);
+      lost.bank += t.bank;
+      lost.simultaneous += t.simultaneous;
+      lost.section += t.section;
+    }
+    human(args) << "attribution: " << a->total_grants() << " grants, lost cycles bank="
+                << lost.bank << " simult=" << lost.simultaneous << " section=" << lost.section
+                << "; " << a->episodes().size() << " barrier episode(s)";
+    if (!a->episodes().empty()) {
+      const obs::BarrierEpisode& ep = a->episodes().front();
+      human(args) << ", first: port " << (ep.port + 1) << " onset " << ep.onset << " length "
+                  << ep.length();
+    }
+    human(args) << '\n';
+  }
+
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("trace");
+    doc["trace_path"] = path;
+    doc["trace_schema"] = obs::kTraceSchema;
+    doc["cycles"] = mem.now();
+    Json ev = Json::object();
+    ev["recorded"] = buf.recorded();
+    ev["retained"] = buf.size();
+    ev["dropped"] = buf.dropped();
+    doc["events"] = std::move(ev);
+    doc["ports"] = json_of_ports(mem.all_stats());
+    doc["attribution"] =
+        tracer.attribution() != nullptr ? tracer.attribution()->to_json() : Json{nullptr};
+    if (!maybe_write_json(args, doc)) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -528,6 +638,7 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(args);
     if (cmd == "kernel") return cmd_kernel(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -73,8 +73,9 @@ class ReferenceModel {
   [[nodiscard]] std::vector<sim::PortStats> stats() const;
 
  private:
-  /// Grant in [t - busy_length + 1, t - 1] keeping `bank` active at t.
-  [[nodiscard]] bool bank_active_from_earlier(i64 bank, i64 t) const;
+  /// Port whose grant in [t - busy_length + 1, t - 1] keeps `bank` active
+  /// at t (the bank-conflict blocker payload), or kNobody when inactive.
+  [[nodiscard]] std::size_t bank_active_from_earlier(i64 bank, i64 t) const;
   /// Port granted `bank` in period t, if any (scans the log tail).
   [[nodiscard]] std::size_t same_period_bank_winner(i64 bank, i64 t) const;
   /// Port granted any bank on access path (cpu, section) in period t.

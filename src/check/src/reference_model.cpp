@@ -50,15 +50,17 @@ i64 ReferenceModel::busy_length() const noexcept {
                                               : config_.bank_cycle;
 }
 
-bool ReferenceModel::bank_active_from_earlier(i64 bank, i64 t) const {
+std::size_t ReferenceModel::bank_active_from_earlier(i64 bank, i64 t) const {
   const i64 len = busy_length();
   // Log cycles are non-decreasing, so scanning backwards can stop at the
   // first event too old to still occupy a bank.
   for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
     if (it->cycle + len <= t) break;
-    if (it->type == sim::Event::Type::grant && it->bank == bank && it->cycle < t) return true;
+    if (it->type == sim::Event::Type::grant && it->bank == bank && it->cycle < t) {
+      return it->port;
+    }
   }
-  return false;
+  return kNobody;
 }
 
 std::size_t ReferenceModel::same_period_bank_winner(i64 bank, i64 t) const {
@@ -118,9 +120,11 @@ void ReferenceModel::step() {
       continue;
     }
 
-    // Rule 2: the bank is still active from a grant in an earlier period.
-    if (bank_active_from_earlier(bank, t)) {
+    // Rule 2: the bank is still active from a grant in an earlier period;
+    // the holder of that grant is the blocker.
+    if (const std::size_t holder = bank_active_from_earlier(bank, t); holder != kNobody) {
       ev.conflict = sim::ConflictKind::bank;
+      ev.blocker = holder;
       log_.push_back(ev);
       continue;
     }

@@ -34,14 +34,17 @@
 #include "vpmem/core/layout.hpp"
 #include "vpmem/core/sweep.hpp"
 #include "vpmem/core/triad_experiment.hpp"
+#include "vpmem/obs/attribution.hpp"
 #include "vpmem/obs/collector.hpp"
 #include "vpmem/obs/metrics.hpp"
 #include "vpmem/obs/report.hpp"
 #include "vpmem/obs/timer.hpp"
+#include "vpmem/obs/tracer.hpp"
 #include "vpmem/skew/analysis.hpp"
 #include "vpmem/skew/scheme.hpp"
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
+#include "vpmem/sim/event_buffer.hpp"
 #include "vpmem/sim/memory_system.hpp"
 #include "vpmem/sim/run.hpp"
 #include "vpmem/sim/steady_state.hpp"

@@ -60,6 +60,10 @@ struct RunReport {
 
   std::optional<SteadyStateReport> steady_state;  ///< infinite streams only
   Json metrics;  ///< Collector registry snapshot (histograms etc.)
+  /// ConflictAttribution summary over the observed window (schema
+  /// vpmem.attribution/1); null when ReportOptions::attribution is off.
+  /// Carried verbatim through a JSON round-trip, like `metrics`.
+  Json attribution;
   PerfReport perf;
 
   [[nodiscard]] Json to_json() const;
@@ -85,6 +89,11 @@ struct ReportOptions {
   i64 cycles = 0;
   /// Guard for finite runs / steady-state detection.
   i64 max_cycles = 1'000'000;
+  /// Fold a ConflictAttribution over the observed window and embed its
+  /// summary block (RunReport::attribution).
+  bool attribution = true;
+  /// b_eff(t) window for the embedded attribution.
+  i64 attribution_window = 64;
 };
 
 /// Run `streams` on `config` with a Collector attached and produce the

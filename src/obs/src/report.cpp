@@ -1,9 +1,11 @@
 #include "vpmem/obs/report.hpp"
 
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
+#include "vpmem/obs/attribution.hpp"
 #include "vpmem/obs/collector.hpp"
 #include "vpmem/obs/timer.hpp"
 #include "vpmem/sim/memory_system.hpp"
@@ -144,6 +146,7 @@ Json RunReport::to_json() const {
   }
 
   out["metrics"] = metrics;
+  out["attribution"] = attribution;
 
   Json perf_json = Json::object();
   perf_json["wall_seconds"] = perf.wall_seconds;
@@ -211,6 +214,9 @@ RunReport RunReport::from_json(const Json& json) {
   }
 
   report.metrics = json.at("metrics");
+  // Reports written before tracing v2 lack the attribution block; treat it
+  // as absent (null) rather than rejecting the document.
+  if (json.contains("attribution")) report.attribution = json.at("attribution");
 
   const Json& perf = json.at("perf");
   report.perf.wall_seconds = perf.at("wall_seconds").as_double();
@@ -270,6 +276,14 @@ RunReport report_run(const sim::MemoryConfig& config,
 
   sim::MemorySystem mem{config, streams};
   Collector collector{mem};
+  std::unique_ptr<ConflictAttribution> attribution;
+  std::size_t attribution_hook = 0;
+  if (options.attribution) {
+    attribution = std::make_unique<ConflictAttribution>(
+        config, AttributionOptions{.window = options.attribution_window});
+    attribution_hook = mem.add_event_hook(
+        [a = attribution.get()](const sim::Event& e) { a->observe(e); });
+  }
   if (is_steady || window > 0) {
     report.cycles = mem.run(window, /*stop_when_finished=*/!is_steady);
   } else {
@@ -280,6 +294,11 @@ RunReport report_run(const sim::MemoryConfig& config,
   }
   cycles_simulated += report.cycles;
   collector.finish();
+  if (attribution) {
+    mem.remove_event_hook(attribution_hook);
+    attribution->finalize(report.cycles);
+    report.attribution = attribution->to_json();
+  }
 
   report.ports = mem.all_stats();
   report.conflicts = sim::totals(report.ports);

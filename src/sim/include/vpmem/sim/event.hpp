@@ -35,8 +35,10 @@ struct Event {
   i64 bank = 0;             ///< requested bank
   i64 element = 0;          ///< index k of the stream element involved
   ConflictKind conflict = ConflictKind::bank;  ///< valid when type == conflict
-  std::size_t blocker = 0;  ///< port that won the resource (valid for
-                            ///< simultaneous/section conflicts)
+  std::size_t blocker = 0;  ///< port that won the resource: the same-period
+                            ///< winner for simultaneous/section conflicts,
+                            ///< the port holding the bank for bank conflicts
+                            ///< (the requester itself for a self conflict)
 };
 
 /// Aggregate counters for one port.  A "conflict" is counted once per

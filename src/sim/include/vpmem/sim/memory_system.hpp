@@ -120,6 +120,8 @@ class MemorySystem {
   std::vector<PortState> ports_;
   std::vector<i64> bank_free_at_;  ///< absolute cycle the bank becomes inactive
   std::vector<i64> bank_grants_;   ///< grants served per bank
+  std::vector<std::size_t> bank_owner_;  ///< port of the latest grant per bank
+                                         ///< (bank-conflict blocker payload)
   i64 now_ = 0;
   i64 max_cpu_ = 0;
   std::size_t rr_ = 0;  ///< highest-priority port under PriorityRule::cyclic

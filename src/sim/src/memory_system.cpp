@@ -13,6 +13,7 @@ MemorySystem::MemorySystem(MemoryConfig config, std::vector<StreamConfig> stream
     : config_{config},
       bank_free_at_(static_cast<std::size_t>(config.banks), 0),
       bank_grants_(static_cast<std::size_t>(config.banks), 0),
+      bank_owner_(static_cast<std::size_t>(config.banks), kFree),
       bank_claim_(static_cast<std::size_t>(config.banks), kFree) {
   config_.validate();
   ports_.reserve(streams.size());
@@ -173,8 +174,11 @@ void MemorySystem::step() {
     }
 
     // (2) Bank still active from an earlier period: plain bank conflict.
+    //     The blocker is the port whose grant keeps the bank busy (the
+    //     requester itself for a self conflict).
     if (bank_free_at_[bank_u] > now_) {
       ev.conflict = ConflictKind::bank;
+      ev.blocker = bank_owner_[bank_u];
       ++port.stats.bank_conflicts;
       port.stats.longest_stall = std::max(port.stats.longest_stall, ++port.stats.current_stall);
       emit(ev);
@@ -197,6 +201,7 @@ void MemorySystem::step() {
     bank_claim_[bank_u] = idx;
     path_claim_[path] = idx;
     bank_free_at_[bank_u] = now_ + config_.bank_cycle;
+    bank_owner_[bank_u] = idx;
     ++bank_grants_[bank_u];
     ++port.stats.grants;
     port.stats.current_stall = 0;

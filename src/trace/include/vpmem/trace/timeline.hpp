@@ -9,10 +9,12 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "vpmem/sim/event.hpp"
+#include "vpmem/sim/event_buffer.hpp"
 #include "vpmem/sim/memory_system.hpp"
 #include "vpmem/util/numeric.hpp"
 
@@ -20,9 +22,20 @@ namespace vpmem::trace {
 
 /// Records simulator events and renders the paper's clock diagrams.
 /// Attach before running; render any window afterwards.
+///
+/// The recording lives in a bounded sim::EventBuffer.  By default the
+/// Timeline owns a fresh buffer; pass a shared one (e.g. from
+/// obs::Tracer::share_buffer()) to render diagrams from a run that is
+/// already being traced without storing the event stream twice.
 class Timeline {
  public:
+  /// Record into a private buffer (capacity sim::EventBuffer defaults).
   explicit Timeline(sim::MemorySystem& mem);
+
+  /// Read from `buffer` without attaching any hook: some other observer
+  /// (an EventRecorder or a Tracer) fills it.  Windows older than the
+  /// buffer's retention render as idle.
+  Timeline(sim::MemorySystem& mem, std::shared_ptr<sim::EventBuffer> buffer);
 
   Timeline(const Timeline&) = delete;
   Timeline& operator=(const Timeline&) = delete;
@@ -30,8 +43,11 @@ class Timeline {
   Timeline& operator=(Timeline&&) = delete;
   ~Timeline();
 
-  /// All recorded events in emission order.
-  [[nodiscard]] const std::vector<sim::Event>& events() const noexcept { return events_; }
+  /// All retained events in emission order, unpacked from the buffer.
+  [[nodiscard]] std::vector<sim::Event> events() const { return buffer_->events(); }
+
+  /// The backing store (shared with any co-observers).
+  [[nodiscard]] const sim::EventBuffer& buffer() const noexcept { return *buffer_; }
 
   /// Render clock periods [from, to) as the paper's diagram.  When
   /// `show_sections` is set, rows are labelled "section - bank" as in
@@ -48,8 +64,9 @@ class Timeline {
 
  private:
   sim::MemorySystem& mem_;
-  std::size_t hook_ = 0;  ///< handle from MemorySystem::add_event_hook
-  std::vector<sim::Event> events_;
+  std::shared_ptr<sim::EventBuffer> buffer_;
+  /// Present only when this Timeline records for itself (first ctor).
+  std::unique_ptr<sim::EventRecorder> recorder_;
 };
 
 /// One-shot helper: simulate `streams` on `config` for `cycles` periods

@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace vpmem::trace {
 
 Timeline::Timeline(sim::MemorySystem& mem)
     : mem_{mem},
-      hook_{mem.add_event_hook([this](const sim::Event& e) { events_.push_back(e); })} {}
+      buffer_{std::make_shared<sim::EventBuffer>()},
+      recorder_{std::make_unique<sim::EventRecorder>(mem, buffer_)} {}
 
-Timeline::~Timeline() { mem_.remove_event_hook(hook_); }
+Timeline::Timeline(sim::MemorySystem& mem, std::shared_ptr<sim::EventBuffer> buffer)
+    : mem_{mem}, buffer_{std::move(buffer)} {
+  if (!buffer_) throw std::invalid_argument{"Timeline: null event buffer"};
+}
+
+Timeline::~Timeline() = default;
 
 namespace {
 
@@ -27,50 +34,45 @@ std::vector<std::string> Timeline::grid(i64 from, i64 to) const {
   const i64 nc = mem_.config().bank_cycle;
   const auto width = static_cast<std::size_t>(to - from);
   std::vector<std::string> rows(static_cast<std::size_t>(m), std::string(width, '.'));
-  // Which port, if any, owns each (bank, period) service slot; used to
-  // orient the delay markers.
-  std::vector<std::vector<std::size_t>> owner(
-      static_cast<std::size_t>(m), std::vector<std::size_t>(width, static_cast<std::size_t>(-1)));
 
   // Pass 1: service periods from grants.
-  for (const auto& e : events_) {
-    if (e.type != sim::Event::Type::grant) continue;
+  buffer_->for_each([&](const sim::Event& e) {
+    if (e.type != sim::Event::Type::grant) return;
     for (i64 t = e.cycle; t < e.cycle + nc; ++t) {
       if (t < from || t >= to) continue;
       const auto col = static_cast<std::size_t>(t - from);
-      const auto row = static_cast<std::size_t>(e.bank);
-      rows[row][col] = port_digit(e.port);
-      owner[row][col] = e.port;
+      rows[static_cast<std::size_t>(e.bank)][col] = port_digit(e.port);
     }
-  }
+  });
   // Grant-start cells: the clock period in which a request was accepted
   // keeps its stream digit even if another port was turned away from the
   // same bank that period (Fig. 3 shows "1<<<<<...", not "<<<<<<...").
   std::vector<std::vector<bool>> grant_start(static_cast<std::size_t>(m),
                                              std::vector<bool>(width, false));
-  for (const auto& e : events_) {
-    if (e.type != sim::Event::Type::grant) continue;
-    if (e.cycle < from || e.cycle >= to) continue;
+  buffer_->for_each([&](const sim::Event& e) {
+    if (e.type != sim::Event::Type::grant) return;
+    if (e.cycle < from || e.cycle >= to) return;
     grant_start[static_cast<std::size_t>(e.bank)][static_cast<std::size_t>(e.cycle - from)] =
         true;
-  }
+  });
   // Pass 2: delay markers overwrite service characters, as in the paper
   // (e.g. Fig. 3's "1<<<<<222222" shows stream 2 waiting on the bank that
-  // stream 1 is holding).
-  for (const auto& e : events_) {
-    if (e.type != sim::Event::Type::conflict) continue;
-    if (e.cycle < from || e.cycle >= to) continue;
+  // stream 1 is holding).  The event's blocker payload carries the port
+  // holding the contended resource, which orients the marker directly —
+  // a self conflict (blocker == port) renders '>' like any other wait on
+  // the stream's own earlier grant.
+  buffer_->for_each([&](const sim::Event& e) {
+    if (e.type != sim::Event::Type::conflict) return;
+    if (e.cycle < from || e.cycle >= to) return;
     const auto col = static_cast<std::size_t>(e.cycle - from);
     const auto row = static_cast<std::size_t>(e.bank);
-    if (grant_start[row][col]) continue;
+    if (grant_start[row][col]) return;
     char marker = '*';
     if (e.conflict != sim::ConflictKind::section) {
-      std::size_t other = e.blocker;
-      if (other == e.port) other = owner[row][col];  // bank conflict: service owner
-      marker = (other == static_cast<std::size_t>(-1) || e.port > other) ? '<' : '>';
+      marker = e.port > e.blocker ? '<' : '>';
     }
     rows[row][col] = marker;
-  }
+  });
   return rows;
 }
 
@@ -99,12 +101,12 @@ std::string Timeline::render(i64 from, i64 to, bool show_sections) const {
 
 void Timeline::events_csv(std::ostream& os) const {
   os << "cycle,type,port,bank,element,conflict,blocker\n";
-  for (const auto& e : events_) {
+  buffer_->for_each([&](const sim::Event& e) {
     const bool grant = e.type == sim::Event::Type::grant;
     os << e.cycle << ',' << (grant ? "grant" : "conflict") << ',' << e.port << ',' << e.bank
        << ',' << e.element << ',' << (grant ? "" : sim::to_string(e.conflict)) << ','
        << e.blocker << '\n';
-  }
+  });
 }
 
 std::string render_run(const sim::MemoryConfig& config,

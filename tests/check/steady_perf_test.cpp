@@ -3,11 +3,15 @@
 // for carrying fuzz results through the RunReport machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "vpmem/check/fuzzer.hpp"
 #include "vpmem/check/replay.hpp"
 #include "vpmem/obs/report.hpp"
+#include "vpmem/obs/timer.hpp"
+#include "vpmem/obs/tracer.hpp"
 #include "vpmem/sim/steady_state.hpp"
 
 namespace vpmem {
@@ -47,6 +51,39 @@ TEST(PerfTelemetry, DetectionAndSweepReportPositiveCycleCounts) {
   const sim::OffsetSweep sweep = sim::sweep_start_offsets(flat(8, 2), 1, 3);
   EXPECT_GT(sweep.cycles_simulated, 0);
   EXPECT_GE(sweep.cycles_per_second(), 0.0);
+}
+
+TEST(PerfTelemetry, TracerOverheadStaysUnderTwoX) {
+  // The tracing v2 budget: a fully instrumented run (bounded event buffer
+  // + attribution fold on a single hook) must cost less than 2x the plain
+  // engine.  Best-of-5 minimum timing on a mid-size workload keeps the
+  // comparison stable against scheduler noise.
+  const sim::MemoryConfig config{.banks = 64, .sections = 16, .bank_cycle = 4};
+  std::vector<sim::StreamConfig> streams;
+  for (i64 p = 0; p < 8; ++p) {
+    streams.push_back(sim::StreamConfig{
+        .start_bank = (p * 3) % 64, .distance = 1 + p % 3, .cpu = p % 2});
+  }
+  const i64 cycles = 100'000;
+  const auto timed_run = [&](bool traced) {
+    sim::MemorySystem mem{config, streams};
+    std::optional<obs::Tracer> tracer;
+    if (traced) tracer.emplace(mem);
+    const obs::Stopwatch wall;
+    mem.run(cycles, /*stop_when_finished=*/false);
+    return wall.seconds();
+  };
+  // Paired back-to-back runs: a machine-wide slowdown hits both halves of
+  // a pair alike, so the minimum per-pair ratio is stable against
+  // scheduler noise where min(traced)/min(plain) is not.
+  double best_ratio = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double plain = timed_run(false);
+    const double traced = timed_run(true);
+    ASSERT_GT(plain, 0.0);
+    best_ratio = std::min(best_ratio, traced / plain);
+  }
+  EXPECT_LT(best_ratio, 2.0) << "tracing overhead " << best_ratio << "x (best of 5 pairs)";
 }
 
 TEST(FuzzReporting, FailingCaseRoundTripsThroughRunReport) {

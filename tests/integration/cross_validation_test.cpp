@@ -21,7 +21,7 @@ TEST(CrossValidation, EventHookAgreesWithAggregateCounters) {
   for (auto [d1, d2] : {std::pair<i64, i64>{1, 6}, {2, 5}, {1, 1}}) {
     sim::MemorySystem mem{flat(13, 4), sim::two_streams(0, d1, 1, d2, /*same_cpu=*/true)};
     std::map<std::size_t, sim::PortStats> counted;
-    mem.set_event_hook([&](const sim::Event& e) {
+    mem.add_event_hook([&](const sim::Event& e) {
       sim::PortStats& c = counted[e.port];
       if (e.type == sim::Event::Type::grant) {
         ++c.grants;

@@ -163,7 +163,7 @@ TEST(RunReport, GoldenJson) {
       "\"ports\":[{\"grants\":8,\"bank_conflicts\":2,\"simultaneous_conflicts\":0,"
       "\"section_conflicts\":0,\"first_grant_cycle\":0,\"last_grant_cycle\":9,"
       "\"longest_stall\":2}],"
-      "\"steady_state\":null,\"metrics\":null,"
+      "\"steady_state\":null,\"metrics\":null,\"attribution\":null,"
       "\"perf\":{\"wall_seconds\":0.5,\"cycles_simulated\":10,"
       "\"cycles_per_second\":20.0}}";
   EXPECT_EQ(report.to_json().dump(), golden);

@@ -22,7 +22,7 @@ TEST(MemorySystem, EmptyConstructionAllowsLaterInjection) {
 TEST(MemorySystem, SingleStreamStridesThroughBanks) {
   MemorySystem mem{flat(8, 2), {StreamConfig{.start_bank = 3, .distance = 2, .length = 6}}};
   std::vector<i64> banks;
-  mem.set_event_hook([&](const Event& e) {
+  mem.add_event_hook([&](const Event& e) {
     if (e.type == Event::Type::grant) banks.push_back(e.bank);
   });
   mem.run(100);
@@ -45,7 +45,7 @@ TEST(MemorySystem, SelfBankConflictDelaysAtStartBank) {
   // m = 4, d = 2 -> r = 2 < nc = 4: returns to the start bank too early.
   MemorySystem mem{flat(4, 4), {StreamConfig{.start_bank = 0, .distance = 2, .length = 4}}};
   std::vector<Event> conflicts;
-  mem.set_event_hook([&](const Event& e) {
+  mem.add_event_hook([&](const Event& e) {
     if (e.type == Event::Type::conflict) conflicts.push_back(e);
   });
   mem.run(1000);
@@ -81,7 +81,7 @@ TEST(MemorySystem, SimultaneousBankConflictAcrossCpus) {
   // bank conflict.
   MemorySystem mem{flat(8, 2), two_streams(0, 1, 0, 1, /*same_cpu=*/false)};
   std::vector<Event> events;
-  mem.set_event_hook([&](const Event& e) { events.push_back(e); });
+  mem.add_event_hook([&](const Event& e) { events.push_back(e); });
   mem.step();
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].type, Event::Type::grant);
@@ -140,7 +140,7 @@ TEST(MemorySystem, DelayedPortRetainsElementOrder) {
   MemoryConfig cfg = flat(4, 4);
   MemorySystem mem{cfg, {StreamConfig{.start_bank = 0, .distance = 2, .length = 8}}};
   std::vector<i64> elements;
-  mem.set_event_hook([&](const Event& e) {
+  mem.add_event_hook([&](const Event& e) {
     if (e.type == Event::Type::grant) elements.push_back(e.element);
   });
   mem.run(1000);
@@ -227,7 +227,7 @@ TEST(MemorySystem, DistanceLargerThanBanksWrap) {
   // distance is taken mod m for bank addressing.
   MemorySystem mem{flat(8, 2), {StreamConfig{.start_bank = 0, .distance = 9, .length = 3}}};
   std::vector<i64> banks;
-  mem.set_event_hook([&](const Event& e) {
+  mem.add_event_hook([&](const Event& e) {
     if (e.type == Event::Type::grant) banks.push_back(e.bank);
   });
   mem.run(100);

@@ -16,7 +16,7 @@ TEST(PatternStream, FollowsExplicitSequence) {
   s.length = 7;  // wraps around the period
   MemorySystem mem{flat(8, 1), {s}};
   std::vector<i64> banks;
-  mem.set_event_hook([&](const Event& e) {
+  mem.add_event_hook([&](const Event& e) {
     if (e.type == Event::Type::grant) banks.push_back(e.bank);
   });
   mem.run(100);

@@ -21,6 +21,28 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "== bench telemetry: perf_sim_engine -> BENCH_perf_sim_engine.json =="
+# Run from the repo root so the vpmem.bench/1 document lands next to the
+# committed copy; the gate below fails on an empty benchmarks array (the
+# regression this guards against: a reporter change silently dropping rows).
+./build/bench/perf_sim_engine >/dev/null
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_perf_sim_engine.json"))
+if doc.get("schema") != "vpmem.bench/1":
+    sys.exit(f"BENCH_perf_sim_engine.json: bad schema {doc.get('schema')!r}")
+rows = doc.get("benchmarks", [])
+if len(rows) < 3:
+    sys.exit(f"BENCH_perf_sim_engine.json: only {len(rows)} benchmark entries (need >= 3)")
+for row in rows:
+    if not row.get("name") or "real_time" not in row:
+        sys.exit(f"BENCH_perf_sim_engine.json: malformed entry {row!r}")
+names = {row["name"].split("/")[0] for row in rows}
+if "bm_step_traced" not in names:
+    sys.exit("BENCH_perf_sim_engine.json: tracer-overhead rows (bm_step_traced) missing")
+print(f"BENCH_perf_sim_engine.json: {len(rows)} entries ok")
+EOF
+
 if [[ "$mode" == "--fast" ]]; then
   echo "== done (fast mode: sanitizer pass skipped) =="
   exit 0
@@ -30,7 +52,8 @@ echo "== sanitizer pass: ASan + UBSan on sim/obs/check tests =="
 cmake -B build-asan -S . -DVPMEM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   sim_config_test sim_memory_system_test sim_steady_state_test sim_run_test \
-  sim_pattern_test obs_metrics_test obs_collector_test obs_report_test obs_timer_test \
+  sim_pattern_test sim_event_buffer_test obs_metrics_test obs_collector_test \
+  obs_report_test obs_timer_test obs_attribution_test obs_tracer_test \
   check_reference_model_test check_differential_fuzz_test check_replay_test
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -R \
   '^(sim_|obs_|check_reference_model|check_differential_fuzz|check_replay)'
