@@ -22,11 +22,22 @@
 //   vpmem_cli kernel <name> <n> <inc> [--dedicated]
 //       Run copy/scale/sum/daxpy/triad/gather/scatter on the X-MP model.
 //   vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]
-//            [--no-shrink] [--replay LINE]
+//            [--fault-plans] [--no-shrink] [--replay LINE]
 //       Differential fuzzing: random configurations cross-checked against
-//       the naive reference model and the analytic theorems.  Failures
-//       print one-line repros; --replay re-executes one.  Exits 1 on any
-//       disagreement.
+//       the naive reference model and the analytic theorems.  With
+//       --fault-plans every case also carries a randomized timed
+//       degradation plan (both sides must still agree event-for-event).
+//       Failures print one-line repros; --replay re-executes one.  Exits
+//       1 on any disagreement.
+//   vpmem_cli faults <m> <nc> <d1> [d2 [b1 b2]] (--plan file.json | --inline SPEC)
+//            [--policy stall|remap_spare] [--length n] [--cycles N]
+//            [--max-cycles N] [--same-cpu] [--sections s]
+//            [--cyclic-priority] [--consecutive]
+//       Degraded-mode run: apply a timed fault plan (schema
+//       vpmem.fault_plan/1 from --plan, or the compact --inline form,
+//       e.g. 'stall;boff@40:b3;bon@160:b3') under a watchdog and report
+//       the guarded RunReport plus the per-phase bandwidth between fault
+//       events.  Exits 5 if the cycle budget expired, 6 on livelock.
 //   vpmem_cli trace <m> <nc> <d1> [d2 [b1 b2]] [--out trace.json]
 //            [--length n] [--cycles N] [--window N] [--no-attribution]
 //            [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]
@@ -40,10 +51,18 @@
 // machine-readable record of its result ("-" writes the JSON to stdout
 // instead of a file); sweep-shaped subcommands log their perf telemetry
 // (simulated cycles/second, per-point latency) to stderr.
+//
+// Exit codes: 0 success, 1 generic failure (including fuzz
+// disagreements), 2 usage, and for typed vpmem::Error conditions
+// 3 = config_invalid, 4 = fault_plan_invalid, 5 = deadline_exceeded,
+// 6 = livelock (the last two also report a guarded run that stopped
+// early).  With --json, errors still write a vpmem.cli/1 envelope whose
+// "error" member carries {code, message}.
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -66,7 +85,11 @@ int usage() {
                "  vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
                "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n"
                "  vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]\n"
-               "           [--no-shrink] [--replay LINE]\n"
+               "           [--fault-plans] [--no-shrink] [--replay LINE]\n"
+               "  vpmem_cli faults <m> <nc> <d1> [d2 [b1 b2]]\n"
+               "           (--plan file.json | --inline SPEC) [--policy stall|remap_spare]\n"
+               "           [--length n] [--cycles N] [--max-cycles N] [--same-cpu]\n"
+               "           [--sections s] [--cyclic-priority] [--consecutive]\n"
                "  vpmem_cli trace <m> <nc> <d1> [d2 [b1 b2]] [--out trace.json]\n"
                "           [--length n] [--cycles N] [--window N] [--no-attribution]\n"
                "           [--same-cpu] [--sections s] [--cyclic-priority] [--consecutive]\n"
@@ -98,6 +121,12 @@ struct Args {
   std::string fault;        // reference-model mutation name
   std::string replay_line;  // one-line repro to re-execute
   bool no_shrink = false;
+  bool fault_plans = false;  // fuzz: attach randomized fault plans
+  // faults subcommand:
+  std::string plan_path;    // --plan: vpmem.fault_plan/1 JSON file
+  std::string plan_inline;  // --inline: compact FaultPlan::parse() spec
+  std::string policy;       // --policy: override the plan's policy
+  i64 max_cycles = 0;       // --max-cycles: watchdog budget (0 = default)
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -145,6 +174,20 @@ bool parse(int argc, char** argv, Args& args) {
       args.replay_line = argv[i];
     } else if (a == "--no-shrink") {
       args.no_shrink = true;
+    } else if (a == "--fault-plans") {
+      args.fault_plans = true;
+    } else if (a == "--plan") {
+      if (++i >= argc) return false;
+      args.plan_path = argv[i];
+    } else if (a == "--inline") {
+      if (++i >= argc) return false;
+      args.plan_inline = argv[i];
+    } else if (a == "--policy") {
+      if (++i >= argc) return false;
+      args.policy = argv[i];
+    } else if (a == "--max-cycles") {
+      if (++i >= argc) return false;
+      args.max_cycles = std::atoll(argv[i]);
     } else if (!a.empty() && (std::isdigit(static_cast<unsigned char>(a[0])) != 0)) {
       args.positional.push_back(std::atoll(a.c_str()));
     } else if (!a.empty() && a[0] != '-' && args.word.empty()) {
@@ -511,6 +554,7 @@ int cmd_fuzz(const Args& args) {
   if (!args.positional.empty()) options.iterations = args.positional[0];
   if (args.cycles > 0) options.cycles = args.cycles;
   if (!args.fault.empty()) options.fault = check::fault_from_string(args.fault);
+  options.fault_plans = args.fault_plans;
   options.shrink_failures = !args.no_shrink;
 
   const check::FuzzSummary summary = check::fuzz(options);
@@ -541,6 +585,135 @@ int cmd_fuzz(const Args& args) {
     if (!maybe_write_json(args, doc)) return 1;
   }
   return summary.ok() ? 0 : 1;
+}
+
+/// The `faults` plan source: --plan (vpmem.fault_plan/1 JSON file) or
+/// --inline (the compact FaultPlan::parse spec); --policy overrides.
+sim::FaultPlan load_plan(const Args& args) {
+  if (!args.plan_path.empty() && !args.plan_inline.empty()) {
+    throw Error{ErrorCode::fault_plan_invalid, "pass either --plan or --inline, not both"};
+  }
+  sim::FaultPlan plan;
+  if (!args.plan_path.empty()) {
+    std::ifstream in{args.plan_path};
+    if (!in) {
+      throw Error{ErrorCode::fault_plan_invalid,
+                  "cannot open fault plan '" + args.plan_path + "'"};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    plan = sim::FaultPlan::from_json(Json::parse(text.str()));
+  } else if (!args.plan_inline.empty()) {
+    plan = sim::FaultPlan::parse(args.plan_inline);
+  }
+  if (!args.policy.empty()) plan.policy = sim::fault_policy_from_string(args.policy);
+  return plan;
+}
+
+/// One bandwidth phase of a degraded run: the half-open cycle range
+/// between consecutive fault events.
+struct FaultPhase {
+  i64 begin = 0;
+  i64 end = 0;
+  i64 grants = 0;
+  i64 online_banks = 0;  ///< surviving banks while the phase ran
+  [[nodiscard]] double bandwidth() const noexcept {
+    return end == begin ? 0.0 : static_cast<double>(grants) / static_cast<double>(end - begin);
+  }
+};
+
+/// Re-simulate the guarded window and split it at fault-event cycles (the
+/// aggregate RunReport has no time axis).
+std::vector<FaultPhase> fault_phases(const sim::MemoryConfig& cfg,
+                                     const std::vector<sim::StreamConfig>& streams,
+                                     const sim::FaultPlan& plan, i64 cycles) {
+  std::vector<i64> bounds{0};
+  for (const auto& e : plan.events) {
+    if (e.cycle > 0 && e.cycle < cycles && e.cycle != bounds.back()) bounds.push_back(e.cycle);
+  }
+  if (cycles > bounds.back()) bounds.push_back(cycles);
+  std::vector<FaultPhase> phases;
+  if (bounds.size() < 2) return phases;
+  sim::MemorySystem mem{cfg, streams, plan};
+  i64 prev_grants = 0;
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    FaultPhase phase;
+    phase.begin = bounds[i];
+    phase.end = bounds[i + 1];
+    // Step the first period so the events due at the boundary are applied,
+    // then read the surviving-bank count the phase runs with.
+    mem.run(1, /*stop_when_finished=*/false);
+    phase.online_banks = mem.surviving_banks();
+    mem.run(phase.end - phase.begin - 1, /*stop_when_finished=*/false);
+    i64 grants = 0;
+    for (const auto& p : mem.all_stats()) grants += p.grants;
+    phase.grants = grants - prev_grants;
+    prev_grants = grants;
+    phases.push_back(phase);
+  }
+  return phases;
+}
+
+int cmd_faults(const Args& args) {
+  if (args.positional.size() != 3 && args.positional.size() != 4 &&
+      args.positional.size() != 6) {
+    return usage();
+  }
+  if (args.plan_path.empty() && args.plan_inline.empty()) return usage();
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const std::vector<sim::StreamConfig> streams = report_streams(args);
+  const sim::FaultPlan plan = load_plan(args);
+  const bool infinite = streams.front().length == sim::kInfiniteLength;
+
+  obs::ReportOptions options;
+  options.cycles = args.cycles;
+  if (infinite && options.cycles <= 0) {
+    // Automatic horizon: cover every fault event plus a healthy tail so
+    // before/during/after phases are all visible.
+    const i64 last = plan.events.empty() ? 0 : plan.events.back().cycle;
+    options.cycles = last + 8 * cfg.banks * cfg.bank_cycle;
+  }
+  sim::Watchdog watchdog;
+  if (args.max_cycles > 0) watchdog.max_cycles = args.max_cycles;
+
+  const obs::RunReport report = obs::report_run_guarded(cfg, streams, plan, options, watchdog);
+  const std::vector<FaultPhase> phases = fault_phases(cfg, streams, plan, report.cycles);
+
+  human(args) << "faults: policy " << sim::to_string(plan.policy) << ", "
+              << plan.events.size() << " event(s), status " << report.status;
+  if (!report.status_detail.empty()) human(args) << " (" << report.status_detail << ")";
+  human(args) << "\nwindow: " << report.cycles << " cycles, b_eff "
+              << report.window_bandwidth << ", conflicts bank=" << report.conflicts.bank
+              << " simult=" << report.conflicts.simultaneous
+              << " section=" << report.conflicts.section
+              << " fault=" << report.conflicts.fault << '\n';
+  for (const auto& phase : phases) {
+    human(args) << "  cycles [" << phase.begin << ", " << phase.end << "): b_eff "
+                << phase.bandwidth() << " (" << phase.online_banks << "/" << cfg.banks
+                << " banks online)\n";
+  }
+
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("faults");
+    doc["plan"] = plan.to_json();
+    doc["status"] = report.status;
+    Json phase_list = Json::array();
+    for (const auto& phase : phases) {
+      Json entry = Json::object();
+      entry["begin"] = phase.begin;
+      entry["end"] = phase.end;
+      entry["grants"] = phase.grants;
+      entry["online_banks"] = phase.online_banks;
+      entry["bandwidth"] = phase.bandwidth();
+      phase_list.push_back(std::move(entry));
+    }
+    doc["phases"] = std::move(phase_list);
+    doc["report"] = report.to_json();
+    if (!maybe_write_json(args, doc)) return 1;
+  }
+  if (report.status == "deadline_exceeded") return 5;
+  if (report.status == "livelock") return 6;
+  return 0;
 }
 
 int cmd_trace(const Args& args) {
@@ -623,6 +796,33 @@ int cmd_trace(const Args& args) {
 
 }  // namespace
 
+namespace {
+
+/// Distinct exit codes for typed failures (documented in usage()).
+int exit_code_of(vpmem::ErrorCode code) {
+  switch (code) {
+    case vpmem::ErrorCode::config_invalid: return 3;
+    case vpmem::ErrorCode::fault_plan_invalid: return 4;
+    case vpmem::ErrorCode::deadline_exceeded: return 5;
+    case vpmem::ErrorCode::livelock: return 6;
+  }
+  return 1;
+}
+
+/// --json error envelope: even failed invocations leave a parseable record.
+void write_error_json(const Args& args, const std::string& command, const std::string& code,
+                      const std::string& message) {
+  if (args.json_path.empty()) return;
+  Json doc = cli_envelope(command);
+  Json error = Json::object();
+  error["code"] = code;
+  error["message"] = message;
+  doc["error"] = std::move(error);
+  (void)maybe_write_json(args, doc);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   Args args;
@@ -638,9 +838,15 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(args);
     if (cmd == "kernel") return cmd_kernel(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "faults") return cmd_faults(args);
     if (cmd == "trace") return cmd_trace(args);
+  } catch (const vpmem::Error& e) {
+    std::cerr << "error (" << to_string(e.code()) << "): " << e.what() << '\n';
+    write_error_json(args, cmd, to_string(e.code()), e.what());
+    return exit_code_of(e.code());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
+    write_error_json(args, cmd, "error", e.what());
     return 1;
   }
   return usage();

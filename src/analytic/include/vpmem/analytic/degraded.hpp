@@ -1,0 +1,41 @@
+// Degraded-mode extension of Theorem 1: effective bandwidth after bank
+// failures under sim::FaultPolicy::remap_spare.
+//
+// The remap contract (sim/fault.hpp) re-addresses every stream's bank
+// sequence modulo the number of surviving banks m' and looks the slot up
+// in the ascending surviving list.  Two accesses therefore collide on a
+// physical bank iff they collide on a slot, and the slot sequence of an
+// affine stream with distance d is again affine with the same distance —
+// so the degraded machine is access-for-access isomorphic to a healthy
+// m'-bank interleave.  Theorem 1 transfers verbatim with m replaced by
+// m': the degraded return number is r' = m' / gcd(m', d) and a single
+// stream sustains b_eff = min(1, r'/nc).  The sweep test
+// tests/analytic/degraded_test.cpp validates the equality (not just the
+// bound) against the cycle-accurate simulator across (m, d, nc, failed
+// bank) and recovery scenarios.
+#pragma once
+
+#include "vpmem/util/numeric.hpp"
+#include "vpmem/util/rational.hpp"
+
+namespace vpmem::analytic {
+
+/// Return number over the m' surviving banks: r' = m' / gcd(m', d), with
+/// the paper's convention gcd(m', 0) = m'.  Throws
+/// std::invalid_argument when no bank survives (m' < 1) — a machine with
+/// zero online banks grants nothing and has no return number.
+[[nodiscard]] i64 degraded_return_number(i64 survivors, i64 d);
+
+/// Steady effective bandwidth of one affine stream of distance d on a
+/// remap-degraded machine with m' surviving banks:
+///   b_eff = min(1, r'/nc),  r' = m'/gcd(m', d).
+/// Exact for a single stream; an upper bound per stream otherwise.
+[[nodiscard]] Rational degraded_single_stream_bandwidth(i64 survivors, i64 d, i64 nc);
+
+/// Machine-level ceiling on the *total* effective bandwidth of any
+/// workload over p ports when m' banks survive: each bank completes at
+/// most one access per nc periods and each port at most one per period,
+/// so total b_eff <= min(p, m'/nc).  survivors == 0 gives 0.
+[[nodiscard]] Rational degraded_capacity(i64 survivors, i64 nc, i64 ports);
+
+}  // namespace vpmem::analytic

@@ -1,0 +1,34 @@
+#include "vpmem/analytic/degraded.hpp"
+
+#include <stdexcept>
+
+#include "vpmem/analytic/stream.hpp"
+
+namespace vpmem::analytic {
+
+i64 degraded_return_number(i64 survivors, i64 d) {
+  if (survivors < 1) {
+    throw std::invalid_argument{"degraded_return_number: no surviving banks"};
+  }
+  return return_number(survivors, d);
+}
+
+Rational degraded_single_stream_bandwidth(i64 survivors, i64 d, i64 nc) {
+  if (survivors < 0) {
+    throw std::invalid_argument{"degraded_single_stream_bandwidth: survivors must be >= 0"};
+  }
+  if (survivors == 0) return Rational{0, 1};
+  return single_stream_bandwidth(survivors, d, nc);
+}
+
+Rational degraded_capacity(i64 survivors, i64 nc, i64 ports) {
+  if (survivors < 0 || ports < 0) {
+    throw std::invalid_argument{"degraded_capacity: survivors and ports must be >= 0"};
+  }
+  if (nc < 1) throw std::invalid_argument{"degraded_capacity: nc must be >= 1"};
+  const Rational banks_side{survivors, nc};
+  const Rational ports_side{ports, 1};
+  return banks_side < ports_side ? banks_side : ports_side;
+}
+
+}  // namespace vpmem::analytic

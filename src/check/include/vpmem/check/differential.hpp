@@ -28,4 +28,12 @@ struct DiffResult {
                                   const std::vector<sim::StreamConfig>& streams, i64 cycles,
                                   FaultKind fault = FaultKind::none);
 
+/// diff_run under a sim::FaultPlan: *both* sides degrade the machine per
+/// `plan` (the simulator incrementally, the reference by naive re-
+/// derivation), and every fault-pinned delay must match event-for-event
+/// on top of the usual grant/conflict agreement.
+[[nodiscard]] DiffResult diff_run(const sim::MemoryConfig& config,
+                                  const std::vector<sim::StreamConfig>& streams, i64 cycles,
+                                  const sim::FaultPlan& plan, FaultKind fault = FaultKind::none);
+
 }  // namespace vpmem::check

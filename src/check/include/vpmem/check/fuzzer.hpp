@@ -26,6 +26,7 @@ struct FuzzCase {
   std::vector<sim::StreamConfig> streams;
   i64 cycles = 224;
   FaultKind fault = FaultKind::none;
+  sim::FaultPlan plan;  ///< degrades *both* sides when non-empty
 };
 
 /// Outcome of checking a single case.
@@ -52,6 +53,11 @@ struct FuzzOptions {
   i64 iterations = 500;
   i64 cycles = 224;                ///< differential cycle budget per case
   FaultKind fault = FaultKind::none;  ///< reference mutation (sensitivity runs)
+  /// Attach a randomized sim::FaultPlan (timed bank/path degradation under
+  /// either policy) to every sampled case.  The analytic invariants are
+  /// skipped for such cases — the theorems assume a healthy machine — so
+  /// the check is pure simulator-vs-reference differential.
+  bool fault_plans = false;
   bool run_invariants = true;
   bool shrink_failures = true;
   std::size_t max_failures = 8;    ///< stop fuzzing after this many

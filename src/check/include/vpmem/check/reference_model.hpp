@@ -22,6 +22,7 @@
 
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
+#include "vpmem/sim/fault.hpp"
 
 namespace vpmem::check {
 
@@ -52,8 +53,13 @@ enum class FaultKind {
 /// delay is classified as a bank / simultaneous-bank / section conflict.
 class ReferenceModel {
  public:
+  /// An optional sim::FaultPlan degrades the modelled machine exactly as
+  /// it degrades MemorySystem (fault.hpp documents the contract).  The
+  /// model derives the fault state naively — by folding the plan's due
+  /// events on every query instead of keeping cursors — so agreement with
+  /// the simulator's incremental bookkeeping is a meaningful check.
   ReferenceModel(sim::MemoryConfig config, std::vector<sim::StreamConfig> streams,
-                 FaultKind fault = FaultKind::none);
+                 FaultKind fault = FaultKind::none, sim::FaultPlan plan = {});
 
   /// Advance the clock by one period.
   void step();
@@ -73,18 +79,34 @@ class ReferenceModel {
   [[nodiscard]] std::vector<sim::PortStats> stats() const;
 
  private:
-  /// Port whose grant in [t - busy_length + 1, t - 1] keeps `bank` active
-  /// at t (the bank-conflict blocker payload), or kNobody when inactive.
+  /// Port whose earlier grant keeps `bank` active at t (the bank-conflict
+  /// blocker payload), or kNobody when inactive.  A grant at period g
+  /// occupies its bank for the bank's effective cycle time *at g* (slow-
+  /// bank faults lengthen it; the short_bank_busy mutation shortens it).
   [[nodiscard]] std::size_t bank_active_from_earlier(i64 bank, i64 t) const;
   /// Port granted `bank` in period t, if any (scans the log tail).
   [[nodiscard]] std::size_t same_period_bank_winner(i64 bank, i64 t) const;
   /// Port granted any bank on access path (cpu, section) in period t.
   [[nodiscard]] std::size_t same_period_path_winner(i64 cpu, i64 section, i64 t) const;
-  [[nodiscard]] i64 busy_length() const noexcept;
+
+  // Naive fault-state queries: each folds the plan's events with
+  // cycle <= t from the start, sharing nothing with the simulator's
+  // incremental cursor/vector bookkeeping.
+  [[nodiscard]] bool ref_bank_online(i64 bank, i64 t) const;
+  [[nodiscard]] i64 ref_bank_nc(i64 bank, i64 t) const;
+  [[nodiscard]] bool ref_bank_stalled(i64 bank, i64 t) const;
+  [[nodiscard]] bool ref_path_down(i64 cpu, i64 section, i64 t) const;
+  /// Bank port `idx` requests at t: the raw stream bank, or its image on
+  /// the surviving banks under FaultPolicy::remap_spare.
+  [[nodiscard]] i64 ref_effective_bank(std::size_t idx, i64 t) const;
+  /// Periods a grant to `bank` issued at `grant_cycle` occupies it.
+  [[nodiscard]] i64 service_length(i64 bank, i64 grant_cycle) const;
 
   sim::MemoryConfig config_;
   std::vector<sim::StreamConfig> streams_;
   FaultKind fault_;
+  sim::FaultPlan plan_;
+  i64 max_service_length_ = 0;  ///< backward-scan cutoff for bank activity
   std::vector<sim::Event> log_;
   std::vector<i64> issued_;  ///< per-port element cursor (the port's own
                              ///< progress, not derived arbitration state)

@@ -20,10 +20,13 @@ inline constexpr const char* kReproSchema = "vpmem.fuzz/1";
 ///   vpmem.fuzz/1 m=13 s=13 nc=4 map=cyclic prio=fixed cycles=224
 ///     fault=none stream=b0,d1,c0,linf,t0 stream=b7,d6,c1,l64,t2
 /// Pattern streams encode the period instead of b/d: stream=p0:3:5,c0,….
+/// A case with a sim::FaultPlan carries it as one extra token,
+/// fplan=<FaultPlan::encode()>, e.g. fplan=stall;boff@8:b3;bon@40:b3.
 [[nodiscard]] std::string encode_repro(const FuzzCase& fuzz_case);
 
 /// Inverse of encode_repro; throws std::invalid_argument on malformed
-/// input (unknown keys, missing fields, bad schema tag).
+/// input (unknown keys, missing fields, bad schema tag) and
+/// vpmem::Error{fault_plan_invalid} on a malformed fplan token.
 [[nodiscard]] FuzzCase parse_repro(const std::string& line);
 
 /// Greedy minimization: repeatedly drop streams, then halve the cycle

@@ -32,8 +32,8 @@ std::string describe_stats(const sim::PortStats& s) {
   std::ostringstream os;
   os << "grants=" << s.grants << " bank=" << s.bank_conflicts
      << " simultaneous=" << s.simultaneous_conflicts << " section=" << s.section_conflicts
-     << " first=" << s.first_grant_cycle << " last=" << s.last_grant_cycle
-     << " longest_stall=" << s.longest_stall;
+     << " fault=" << s.fault_conflicts << " first=" << s.first_grant_cycle
+     << " last=" << s.last_grant_cycle << " longest_stall=" << s.longest_stall;
   return os.str();
 }
 
@@ -41,6 +41,7 @@ bool same_stats(const sim::PortStats& a, const sim::PortStats& b) {
   return a.grants == b.grants && a.bank_conflicts == b.bank_conflicts &&
          a.simultaneous_conflicts == b.simultaneous_conflicts &&
          a.section_conflicts == b.section_conflicts &&
+         a.fault_conflicts == b.fault_conflicts &&
          a.first_grant_cycle == b.first_grant_cycle &&
          a.last_grant_cycle == b.last_grant_cycle && a.longest_stall == b.longest_stall;
 }
@@ -50,14 +51,20 @@ bool same_stats(const sim::PortStats& a, const sim::PortStats& b) {
 DiffResult diff_run(const sim::MemoryConfig& config,
                     const std::vector<sim::StreamConfig>& streams, i64 cycles,
                     FaultKind fault) {
+  return diff_run(config, streams, cycles, sim::FaultPlan{}, fault);
+}
+
+DiffResult diff_run(const sim::MemoryConfig& config,
+                    const std::vector<sim::StreamConfig>& streams, i64 cycles,
+                    const sim::FaultPlan& plan, FaultKind fault) {
   DiffResult out;
 
-  sim::MemorySystem mem{config, streams};
+  sim::MemorySystem mem{config, streams, plan};
   std::vector<sim::Event> sim_events;
   mem.add_event_hook([&sim_events](const sim::Event& e) { sim_events.push_back(e); });
   mem.run(cycles, /*stop_when_finished=*/false);
 
-  ReferenceModel ref{config, streams, fault};
+  ReferenceModel ref{config, streams, fault, plan};
   ref.run(cycles);
 
   const std::vector<sim::Event>& ref_events = ref.events();

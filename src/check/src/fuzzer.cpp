@@ -1,5 +1,7 @@
 #include "vpmem/check/fuzzer.hpp"
 
+#include <algorithm>
+
 #include "vpmem/check/differential.hpp"
 #include "vpmem/check/replay.hpp"
 #include "vpmem/util/numeric.hpp"
@@ -34,6 +36,43 @@ sim::StreamConfig sample_stream(SplitMix64& rng, i64 m) {
   return s;
 }
 
+/// Random timed degradation: 1-4 events over the first ~3/4 of the cycle
+/// budget so recoveries (bank_online / path_online) actually replay
+/// inside the differential window.
+sim::FaultPlan sample_plan(SplitMix64& rng, const sim::MemoryConfig& config, i64 cycles) {
+  sim::FaultPlan plan;
+  plan.policy = rng.next_below(2) == 0 ? sim::FaultPolicy::stall
+                                       : sim::FaultPolicy::remap_spare;
+  const i64 n_events = 1 + pick(rng, 4);
+  const i64 span = std::max<i64>(1, cycles * 3 / 4);
+  std::vector<i64> at;
+  at.reserve(static_cast<std::size_t>(n_events));
+  for (i64 i = 0; i < n_events; ++i) at.push_back(pick(rng, span));
+  std::sort(at.begin(), at.end());
+  for (i64 i = 0; i < n_events; ++i) {
+    sim::FaultEvent e;
+    e.cycle = at[static_cast<std::size_t>(i)];
+    switch (pick(rng, 6)) {
+      case 0: e.kind = sim::FaultEvent::Kind::bank_offline; break;
+      case 1: e.kind = sim::FaultEvent::Kind::bank_online; break;
+      case 2: e.kind = sim::FaultEvent::Kind::bank_slow; break;
+      case 3: e.kind = sim::FaultEvent::Kind::bank_stall; break;
+      case 4: e.kind = sim::FaultEvent::Kind::path_offline; break;
+      default: e.kind = sim::FaultEvent::Kind::path_online; break;
+    }
+    if (e.targets_bank()) {
+      e.bank = pick(rng, config.banks);
+      if (e.kind == sim::FaultEvent::Kind::bank_slow) e.value = 1 + pick(rng, 6);
+      if (e.kind == sim::FaultEvent::Kind::bank_stall) e.value = 1 + pick(rng, 16);
+    } else {
+      e.cpu = pick(rng, 3);
+      e.section = pick(rng, config.sections);
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
 }  // namespace
 
 FuzzCase sample_case(SplitMix64& rng, const FuzzOptions& options) {
@@ -57,6 +96,7 @@ FuzzCase sample_case(SplitMix64& rng, const FuzzOptions& options) {
     s2.distance = 1 + pick(rng, m - 1);
     s2.cpu = 1;
     out.streams = {s1, s2};
+    if (options.fault_plans) out.plan = sample_plan(rng, out.config, out.cycles);
     return out;
   }
 
@@ -75,19 +115,22 @@ FuzzCase sample_case(SplitMix64& rng, const FuzzOptions& options) {
   const i64 ports = 1 + pick(rng, 4);
   out.streams.reserve(static_cast<std::size_t>(ports));
   for (i64 i = 0; i < ports; ++i) out.streams.push_back(sample_stream(rng, m));
+  if (options.fault_plans) out.plan = sample_plan(rng, out.config, out.cycles);
   return out;
 }
 
 CaseResult check_case(const FuzzCase& fuzz_case, const InvariantOptions& invariants,
                       bool run_invariants) {
   CaseResult result;
-  const DiffResult diff =
-      diff_run(fuzz_case.config, fuzz_case.streams, fuzz_case.cycles, fuzz_case.fault);
+  const DiffResult diff = diff_run(fuzz_case.config, fuzz_case.streams, fuzz_case.cycles,
+                                   fuzz_case.plan, fuzz_case.fault);
   result.checks_run = 1;
   result.events_compared = diff.events_compared;
   if (!diff.agreed) result.failures.push_back({"differential", diff.message});
 
-  if (run_invariants) {
+  // The analytic theorems assume a healthy machine; a degraded case is
+  // checked by the differential comparison alone.
+  if (run_invariants && fuzz_case.plan.empty()) {
     const InvariantReport report =
         check_invariants(fuzz_case.config, fuzz_case.streams, invariants);
     result.checks_run += static_cast<i64>(report.ran.size());

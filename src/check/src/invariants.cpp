@@ -93,6 +93,9 @@ std::string compare_port_stats(const sim::PortStats& simulator,
     return diff("section_conflicts", simulator.section_conflicts,
                 independent.section_conflicts);
   }
+  if (simulator.fault_conflicts != independent.fault_conflicts) {
+    return diff("fault_conflicts", simulator.fault_conflicts, independent.fault_conflicts);
+  }
   if (simulator.first_grant_cycle != independent.first_grant_cycle) {
     return diff("first_grant_cycle", simulator.first_grant_cycle,
                 independent.first_grant_cycle);

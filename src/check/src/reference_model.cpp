@@ -38,25 +38,90 @@ const std::vector<FaultKind>& all_faults() {
 }
 
 ReferenceModel::ReferenceModel(sim::MemoryConfig config, std::vector<sim::StreamConfig> streams,
-                               FaultKind fault)
-    : config_{config}, streams_{std::move(streams)}, fault_{fault} {
+                               FaultKind fault, sim::FaultPlan plan)
+    : config_{config}, streams_{std::move(streams)}, fault_{fault}, plan_{std::move(plan)} {
   config_.validate();
   for (const auto& s : streams_) s.validate(config_);
+  plan_.validate(config_);
   issued_.assign(streams_.size(), 0);
+  max_service_length_ = config_.bank_cycle;
+  for (const auto& e : plan_.events) {
+    if (e.kind == sim::FaultEvent::Kind::bank_slow) {
+      max_service_length_ = std::max(max_service_length_, e.value);
+    }
+  }
 }
 
-i64 ReferenceModel::busy_length() const noexcept {
-  return fault_ == FaultKind::short_bank_busy ? std::max<i64>(1, config_.bank_cycle - 1)
-                                              : config_.bank_cycle;
+bool ReferenceModel::ref_bank_online(i64 bank, i64 t) const {
+  bool online = true;
+  for (const auto& e : plan_.events) {
+    if (e.cycle > t) break;
+    if (e.bank != bank) continue;
+    if (e.kind == sim::FaultEvent::Kind::bank_offline) online = false;
+    if (e.kind == sim::FaultEvent::Kind::bank_online) online = true;
+  }
+  return online;
+}
+
+i64 ReferenceModel::ref_bank_nc(i64 bank, i64 t) const {
+  i64 nc = config_.bank_cycle;
+  for (const auto& e : plan_.events) {
+    if (e.cycle > t) break;
+    if (e.kind == sim::FaultEvent::Kind::bank_slow && e.bank == bank) nc = e.value;
+  }
+  return nc;
+}
+
+bool ReferenceModel::ref_bank_stalled(i64 bank, i64 t) const {
+  for (const auto& e : plan_.events) {
+    if (e.cycle > t) break;
+    if (e.kind == sim::FaultEvent::Kind::bank_stall && e.bank == bank &&
+        t < e.cycle + e.value) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ReferenceModel::ref_path_down(i64 cpu, i64 section, i64 t) const {
+  bool down = false;
+  for (const auto& e : plan_.events) {
+    if (e.cycle > t) break;
+    if (e.cpu != cpu || e.section != section) continue;
+    if (e.kind == sim::FaultEvent::Kind::path_offline) down = true;
+    if (e.kind == sim::FaultEvent::Kind::path_online) down = false;
+  }
+  return down;
+}
+
+i64 ReferenceModel::ref_effective_bank(std::size_t idx, i64 t) const {
+  const sim::StreamConfig& s = streams_[idx];
+  const i64 raw = s.bank_of(issued_[idx], config_.banks);
+  if (plan_.policy != sim::FaultPolicy::remap_spare) return raw;
+  std::vector<i64> surviving;
+  for (i64 b = 0; b < config_.banks; ++b) {
+    if (ref_bank_online(b, t)) surviving.push_back(b);
+  }
+  const i64 alive = static_cast<i64>(surviving.size());
+  if (alive == config_.banks || alive == 0) return raw;
+  const i64 slot = s.has_pattern() ? mod_norm(raw, alive)
+                                   : mod_norm(s.start_bank + issued_[idx] * s.distance, alive);
+  return surviving[static_cast<std::size_t>(slot)];
+}
+
+i64 ReferenceModel::service_length(i64 bank, i64 grant_cycle) const {
+  const i64 nc = ref_bank_nc(bank, grant_cycle);
+  return fault_ == FaultKind::short_bank_busy ? std::max<i64>(1, nc - 1) : nc;
 }
 
 std::size_t ReferenceModel::bank_active_from_earlier(i64 bank, i64 t) const {
-  const i64 len = busy_length();
   // Log cycles are non-decreasing, so scanning backwards can stop at the
-  // first event too old to still occupy a bank.
+  // first event too old to still occupy a bank even at the longest
+  // possible service time.
   for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-    if (it->cycle + len <= t) break;
-    if (it->type == sim::Event::Type::grant && it->bank == bank && it->cycle < t) {
+    if (it->cycle + max_service_length_ <= t) break;
+    if (it->type == sim::Event::Type::grant && it->bank == bank && it->cycle < t &&
+        it->cycle + service_length(bank, it->cycle) > t) {
       return it->port;
     }
   }
@@ -96,7 +161,7 @@ void ReferenceModel::step() {
     const sim::StreamConfig& s = streams_[idx];
     if (issued_[idx] >= s.length || t < s.start_cycle) continue;
 
-    const i64 bank = s.bank_of(issued_[idx], config_.banks);
+    const i64 bank = ref_effective_bank(idx, t);
     sim::Event ev{.type = sim::Event::Type::conflict,
                   .cycle = t,
                   .port = idx,
@@ -104,6 +169,16 @@ void ReferenceModel::step() {
                   .element = issued_[idx],
                   .conflict = sim::ConflictKind::bank,
                   .blocker = idx};
+
+    // Rule 0: an injected fault pins the request before any arbitration —
+    // offline target bank, transient stall window, or downed access path.
+    // Kind `fault`, blocker = the requester itself.
+    if (!ref_bank_online(bank, t) || ref_bank_stalled(bank, t) ||
+        ref_path_down(s.cpu, config_.section_of(bank), t)) {
+      ev.conflict = sim::ConflictKind::fault;
+      log_.push_back(ev);
+      continue;
+    }
 
     // Rule 1: the bank was claimed this very period by a higher-priority
     // port — simultaneous bank conflict across CPUs, section conflict
@@ -169,6 +244,7 @@ std::vector<sim::PortStats> ReferenceModel::stats() const {
       case sim::ConflictKind::bank: ++st.bank_conflicts; break;
       case sim::ConflictKind::simultaneous: ++st.simultaneous_conflicts; break;
       case sim::ConflictKind::section: ++st.section_conflicts; break;
+      case sim::ConflictKind::fault: ++st.fault_conflicts; break;
     }
     st.longest_stall = std::max(st.longest_stall, ++st.current_stall);
   }

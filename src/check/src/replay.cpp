@@ -92,6 +92,8 @@ std::string encode_repro(const FuzzCase& fuzz_case) {
      << " map=" << sim::to_string(fuzz_case.config.mapping)
      << " prio=" << sim::to_string(fuzz_case.config.priority)
      << " cycles=" << fuzz_case.cycles << " fault=" << to_string(fuzz_case.fault);
+  // FaultPlan::encode() is whitespace-free, so the plan stays one token.
+  if (!fuzz_case.plan.empty()) os << " fplan=" << fuzz_case.plan.encode();
   for (const auto& s : fuzz_case.streams) os << ' ' << encode_stream(s);
   return os.str();
 }
@@ -137,6 +139,8 @@ FuzzCase parse_repro(const std::string& line) {
       out.cycles = parse_i64(value, "cycle budget");
     } else if (key == "fault") {
       out.fault = fault_from_string(value);
+    } else if (key == "fplan") {
+      out.plan = sim::FaultPlan::parse(value);
     } else if (key == "stream") {
       out.streams.push_back(parse_stream(value));
     } else {
@@ -145,6 +149,7 @@ FuzzCase parse_repro(const std::string& line) {
   }
   out.config.validate();
   for (const auto& s : out.streams) s.validate(out.config);
+  out.plan.validate(out.config);
   return out;
 }
 
@@ -159,6 +164,28 @@ FuzzCase shrink_case(const FuzzCase& fuzz_case,
     for (std::size_t i = 0; i < current.streams.size(); ++i) {
       FuzzCase candidate = current;
       candidate.streams.erase(candidate.streams.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Drop fault-plan events one at a time (a whole-plan drop first —
+  // most failures are not fault-induced and shed the plan in one step).
+  if (!current.plan.empty()) {
+    FuzzCase candidate = current;
+    candidate.plan = sim::FaultPlan{};
+    if (still_fails(candidate)) current = std::move(candidate);
+  }
+  progress = true;
+  while (progress && !current.plan.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < current.plan.events.size(); ++i) {
+      FuzzCase candidate = current;
+      candidate.plan.events.erase(candidate.plan.events.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
       if (still_fails(candidate)) {
         current = std::move(candidate);
         progress = true;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "vpmem/analytic/classify.hpp"
+#include "vpmem/analytic/degraded.hpp"
 #include "vpmem/analytic/fortran.hpp"
 #include "vpmem/analytic/isomorphism.hpp"
 #include "vpmem/analytic/stream.hpp"
@@ -45,11 +46,13 @@
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
 #include "vpmem/sim/event_buffer.hpp"
+#include "vpmem/sim/fault.hpp"
 #include "vpmem/sim/memory_system.hpp"
 #include "vpmem/sim/run.hpp"
 #include "vpmem/sim/steady_state.hpp"
 #include "vpmem/trace/timeline.hpp"
 #include "vpmem/util/chart.hpp"
+#include "vpmem/util/error.hpp"
 #include "vpmem/util/json.hpp"
 #include "vpmem/util/numeric.hpp"
 #include "vpmem/util/rational.hpp"

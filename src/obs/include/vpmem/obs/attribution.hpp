@@ -119,9 +119,10 @@ class ConflictAttribution {
 
  private:
   struct PortFold {
-    /// banks * 3 lost-cycle cells, indexed bank * 3 + kind.  Per-kind and
-    /// grand totals are row sums over this — the observe() hot path keeps
-    /// exactly one counter per (bank, kind).
+    /// banks * kConflictKinds lost-cycle cells, indexed
+    /// bank * kConflictKinds + kind.  Per-kind and grand totals are row
+    /// sums over this — the observe() hot path keeps exactly one counter
+    /// per (bank, kind).
     std::vector<i64> by_bank_kind;
     std::vector<i64> by_blocker;  ///< grown to the highest blocker seen
     // Open-episode state.
@@ -129,7 +130,7 @@ class ConflictAttribution {
     BarrierEpisode open;
     /// open.kinds folded kind-indexed (no switch on the hot path);
     /// close_episode() copies it into open.kinds.
-    std::array<i64, 3> open_kinds{0, 0, 0};
+    std::array<i64, sim::kConflictKinds> open_kinds{};
     /// Per-bank "already in the open episode" flags — keeps the banks list
     /// deduplicated in O(1) per conflict (sorted only on close).
     std::vector<std::uint8_t> bank_in_episode;

@@ -20,7 +20,7 @@
 namespace vpmem::obs {
 
 /// Aggregates a simulation's event stream into a MetricsRegistry:
-///   counters   grants, conflicts.bank / .simultaneous / .section
+///   counters   grants, conflicts.bank / .simultaneous / .section / .fault
 ///   histograms stall_length (completed delay runs, in clock periods),
 ///              bank_grants (distribution of per-bank grant counts;
 ///              filled by finish())
@@ -73,7 +73,7 @@ class Collector {
   // Hot-path metrics, resolved once at construction (registry references
   // are stable): on_event must not do name lookups per simulated event.
   Counter* grants_ = nullptr;
-  Counter* conflict_counters_[3] = {nullptr, nullptr, nullptr};  ///< by ConflictKind
+  Counter* conflict_counters_[sim::kConflictKinds] = {};  ///< by ConflictKind
   Histogram* stall_lengths_ = nullptr;
 };
 

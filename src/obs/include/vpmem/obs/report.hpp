@@ -11,6 +11,8 @@
 
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
+#include "vpmem/sim/fault.hpp"
+#include "vpmem/sim/run.hpp"
 #include "vpmem/sim/steady_state.hpp"
 #include "vpmem/util/json.hpp"
 #include "vpmem/util/rational.hpp"
@@ -41,9 +43,18 @@ struct PerfReport {
 
 /// One complete, self-describing record of a simulation.
 struct RunReport {
-  std::string kind;  ///< "steady_state" (infinite streams) or "finite_run"
+  std::string kind;  ///< "steady_state" (infinite streams), "finite_run"
+                     ///< or "guarded_run" (watchdogged, possibly partial)
   sim::MemoryConfig config;
   std::vector<sim::StreamConfig> streams;
+  sim::FaultPlan fault_plan;  ///< empty unless the run degraded the machine
+
+  /// How the run ended: "completed", or for guarded runs possibly
+  /// "deadline_exceeded" / "livelock" — the counters below then cover the
+  /// partial window up to the stop.  Reports written before the fault
+  /// model read back as "completed".
+  std::string status = "completed";
+  std::string status_detail;  ///< human-readable stop reason (may be empty)
 
   // Observed window (the whole run for finite streams; a transient +
   // whole-period window for infinite ones).
@@ -104,6 +115,22 @@ struct ReportOptions {
 [[nodiscard]] RunReport report_run(const sim::MemoryConfig& config,
                                    const std::vector<sim::StreamConfig>& streams,
                                    const ReportOptions& options = {});
+
+/// Hardened report_run: drive the workload under `plan` with a watchdog
+/// and report even when it cannot finish — RunReport::status records how
+/// the run ended and the counters cover the observed (possibly partial)
+/// window.  kind = "guarded_run"; no steady-state section is computed
+/// (cycle detection is unsound while a fault plan is active), so infinite
+/// streams require an explicit options.cycles horizon.  The watchdog's
+/// max_cycles is the cycle budget (ReportOptions::max_cycles is ignored
+/// here).  Throws vpmem::Error{config_invalid} for mixed finite/infinite
+/// workloads or a missing horizon, and
+/// vpmem::Error{fault_plan_invalid} if `plan` does not fit `config`.
+[[nodiscard]] RunReport report_run_guarded(const sim::MemoryConfig& config,
+                                           const std::vector<sim::StreamConfig>& streams,
+                                           const sim::FaultPlan& plan = {},
+                                           const ReportOptions& options = {},
+                                           const sim::Watchdog& watchdog = {});
 
 /// JSON shapes shared with the CLI: serialize one PortStats / the totals.
 [[nodiscard]] Json json_of(const sim::PortStats& stats);

@@ -12,6 +12,7 @@ Json json_of_totals(const sim::ConflictTotals& t) {
   out["bank"] = t.bank;
   out["simultaneous"] = t.simultaneous;
   out["section"] = t.section;
+  out["fault"] = t.fault;
   out["total"] = t.total();
   return out;
 }
@@ -31,7 +32,7 @@ ConflictAttribution::PortFold& ConflictAttribution::fold_for(std::size_t port) {
     ports_.resize(port + 1);
     for (auto& f : ports_) {
       if (f.by_bank_kind.empty()) {
-        f.by_bank_kind.assign(static_cast<std::size_t>(config_.banks) * 3, 0);
+        f.by_bank_kind.assign(static_cast<std::size_t>(config_.banks) * sim::kConflictKinds, 0);
         f.bank_in_episode.assign(static_cast<std::size_t>(config_.banks), 0);
       }
     }
@@ -45,6 +46,7 @@ void ConflictAttribution::close_episode(PortFold& fold) {
   fold.open.kinds.bank = fold.open_kinds[0];
   fold.open.kinds.simultaneous = fold.open_kinds[1];
   fold.open.kinds.section = fold.open_kinds[2];
+  fold.open.kinds.fault = fold.open_kinds[3];
   std::sort(fold.open.banks.begin(), fold.open.banks.end());
   for (const i64 bank : fold.open.banks) {
     fold.bank_in_episode[static_cast<std::size_t>(bank)] = 0;
@@ -86,7 +88,7 @@ void ConflictAttribution::observe(const sim::Event& e) {
   const auto kind = static_cast<std::size_t>(e.conflict);
   // The (bank, kind) matrix is the only per-kind store on the hot path;
   // by-kind and grand totals are row sums computed at query time.
-  ++fold.by_bank_kind[static_cast<std::size_t>(e.bank) * 3 + kind];
+  ++fold.by_bank_kind[static_cast<std::size_t>(e.bank) * sim::kConflictKinds + kind];
   if (e.blocker >= fold.by_blocker.size()) fold.by_blocker.resize(e.blocker + 1, 0);
   ++fold.by_blocker[e.blocker];
 
@@ -96,7 +98,7 @@ void ConflictAttribution::observe(const sim::Event& e) {
     fold.episode_open = true;
     fold.open.port = e.port;
     fold.open.onset = e.cycle;
-    fold.open_kinds = {0, 0, 0};
+    fold.open_kinds = {};
   }
   fold.open.last = e.cycle;
   ++fold.open.lost_cycles;
@@ -135,15 +137,16 @@ i64 ConflictAttribution::lost_cycles(std::size_t port, i64 bank, sim::ConflictKi
   if (bank < 0 || bank >= config_.banks) {
     throw std::out_of_range{"ConflictAttribution::lost_cycles: bank out of range"};
   }
-  return ports_[port]
-      .by_bank_kind[static_cast<std::size_t>(bank) * 3 + static_cast<std::size_t>(kind)];
+  return ports_[port].by_bank_kind[static_cast<std::size_t>(bank) * sim::kConflictKinds +
+                                   static_cast<std::size_t>(kind)];
 }
 
 i64 ConflictAttribution::lost_cycles(std::size_t port, sim::ConflictKind kind) const {
   if (port >= ports_.size()) return 0;
   const auto& cells = ports_[port].by_bank_kind;
   i64 sum = 0;
-  for (std::size_t i = static_cast<std::size_t>(kind); i < cells.size(); i += 3) {
+  for (std::size_t i = static_cast<std::size_t>(kind); i < cells.size();
+       i += sim::kConflictKinds) {
     sum += cells[i];
   }
   return sum;
@@ -154,6 +157,7 @@ sim::ConflictTotals ConflictAttribution::totals(std::size_t port) const {
   t.bank = lost_cycles(port, sim::ConflictKind::bank);
   t.simultaneous = lost_cycles(port, sim::ConflictKind::simultaneous);
   t.section = lost_cycles(port, sim::ConflictKind::section);
+  t.fault = lost_cycles(port, sim::ConflictKind::fault);
   return t;
 }
 
@@ -175,6 +179,7 @@ Json ConflictAttribution::to_json() const {
     grand.bank += t.bank;
     grand.simultaneous += t.simultaneous;
     grand.section += t.section;
+    grand.fault += t.fault;
   }
   out["lost_cycles"] = json_of_totals(grand);
   out["grants"] = total_grants_;
@@ -187,16 +192,18 @@ Json ConflictAttribution::to_json() const {
     entry["lost_cycles"] = json_of_totals(totals(p));
     Json by_bank = Json::array();
     for (i64 bank = 0; bank < config_.banks; ++bank) {
-      const std::size_t base = static_cast<std::size_t>(bank) * 3;
+      const std::size_t base = static_cast<std::size_t>(bank) * sim::kConflictKinds;
       const i64 b = fold.by_bank_kind[base];
       const i64 s = fold.by_bank_kind[base + 1];
       const i64 sec = fold.by_bank_kind[base + 2];
-      if (b + s + sec == 0) continue;  // sparse: most banks never stall a stream
+      const i64 flt = fold.by_bank_kind[base + 3];
+      if (b + s + sec + flt == 0) continue;  // sparse: most banks never stall a stream
       Json cell = Json::object();
       cell["bank"] = bank;
       cell["bank_conflicts"] = b;
       cell["simultaneous_conflicts"] = s;
       cell["section_conflicts"] = sec;
+      cell["fault_conflicts"] = flt;
       by_bank.push_back(std::move(cell));
     }
     entry["by_bank"] = std::move(by_bank);

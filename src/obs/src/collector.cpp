@@ -16,6 +16,8 @@ Collector::Collector(sim::MemorySystem& mem)
       &registry_.counter("conflicts.simultaneous");
   conflict_counters_[static_cast<std::size_t>(sim::ConflictKind::section)] =
       &registry_.counter("conflicts.section");
+  conflict_counters_[static_cast<std::size_t>(sim::ConflictKind::fault)] =
+      &registry_.counter("conflicts.fault");
   stall_lengths_ = &registry_.histogram("stall_length");
   registry_.histogram("bank_grants");
   registry_.gauge("bank_utilization");
@@ -43,6 +45,7 @@ void Collector::on_event(const sim::Event& e) {
     case sim::ConflictKind::bank: ++p.bank_conflicts; break;
     case sim::ConflictKind::simultaneous: ++p.simultaneous_conflicts; break;
     case sim::ConflictKind::section: ++p.section_conflicts; break;
+    case sim::ConflictKind::fault: ++p.fault_conflicts; break;
   }
   conflict_counters_[static_cast<std::size_t>(e.conflict)]->inc();
   p.longest_stall = std::max(p.longest_stall, ++p.current_stall);
@@ -83,6 +86,7 @@ Json Collector::to_json() const {
     port["bank_conflicts"] = p.bank_conflicts;
     port["simultaneous_conflicts"] = p.simultaneous_conflicts;
     port["section_conflicts"] = p.section_conflicts;
+    port["fault_conflicts"] = p.fault_conflicts;
     port["first_grant_cycle"] = p.first_grant_cycle;
     port["last_grant_cycle"] = p.last_grant_cycle;
     port["longest_stall"] = p.longest_stall;

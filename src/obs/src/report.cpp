@@ -9,6 +9,7 @@
 #include "vpmem/obs/collector.hpp"
 #include "vpmem/obs/timer.hpp"
 #include "vpmem/sim/memory_system.hpp"
+#include "vpmem/util/error.hpp"
 
 namespace vpmem::obs {
 
@@ -32,6 +33,8 @@ sim::PortStats port_stats_from_json(const Json& json) {
   p.bank_conflicts = json.at("bank_conflicts").as_int();
   p.simultaneous_conflicts = json.at("simultaneous_conflicts").as_int();
   p.section_conflicts = json.at("section_conflicts").as_int();
+  // Reports written before the fault model lack the fault counter.
+  if (json.contains("fault_conflicts")) p.fault_conflicts = json.at("fault_conflicts").as_int();
   p.first_grant_cycle = json.at("first_grant_cycle").as_int();
   p.last_grant_cycle = json.at("last_grant_cycle").as_int();
   p.longest_stall = json.at("longest_stall").as_int();
@@ -43,6 +46,7 @@ sim::ConflictTotals totals_from_json(const Json& json) {
   t.bank = json.at("bank").as_int();
   t.simultaneous = json.at("simultaneous").as_int();
   t.section = json.at("section").as_int();
+  if (json.contains("fault")) t.fault = json.at("fault").as_int();
   return t;
 }
 
@@ -58,6 +62,7 @@ Json json_of(const sim::PortStats& stats) {
   out["bank_conflicts"] = stats.bank_conflicts;
   out["simultaneous_conflicts"] = stats.simultaneous_conflicts;
   out["section_conflicts"] = stats.section_conflicts;
+  out["fault_conflicts"] = stats.fault_conflicts;
   out["first_grant_cycle"] = stats.first_grant_cycle;
   out["last_grant_cycle"] = stats.last_grant_cycle;
   out["longest_stall"] = stats.longest_stall;
@@ -69,6 +74,7 @@ Json json_of(const sim::ConflictTotals& totals) {
   out["bank"] = totals.bank;
   out["simultaneous"] = totals.simultaneous;
   out["section"] = totals.section;
+  out["fault"] = totals.fault;
   out["total"] = totals.total();
   return out;
 }
@@ -108,10 +114,13 @@ Json RunReport::to_json() const {
   Json out = Json::object();
   out["schema"] = kRunReportSchema;
   out["kind"] = kind;
+  out["status"] = status;
+  if (!status_detail.empty()) out["status_detail"] = status_detail;
   out["config"] = json_of(config);
   Json stream_list = Json::array();
   for (const auto& s : streams) stream_list.push_back(json_of(s));
   out["streams"] = std::move(stream_list);
+  out["fault_plan"] = fault_plan.empty() ? Json{nullptr} : fault_plan.to_json();
 
   Json window = Json::object();
   window["cycles"] = cycles;
@@ -162,6 +171,15 @@ RunReport RunReport::from_json(const Json& json) {
   }
   RunReport report;
   report.kind = json.at("kind").as_string();
+  // Reports written before the fault model lack status and fault_plan;
+  // read them tolerantly (a pre-fault report always ran to completion).
+  if (json.contains("status")) report.status = json.at("status").as_string();
+  if (json.contains("status_detail")) {
+    report.status_detail = json.at("status_detail").as_string();
+  }
+  if (json.contains("fault_plan") && !json.at("fault_plan").is_null()) {
+    report.fault_plan = sim::FaultPlan::from_json(json.at("fault_plan"));
+  }
 
   const Json& cfg = json.at("config");
   report.config.banks = cfg.at("banks").as_int();
@@ -245,9 +263,9 @@ RunReport report_run(const sim::MemoryConfig& config,
     if (s.length == sim::kInfiniteLength) ++infinite;
   }
   if (infinite != 0 && infinite != streams.size()) {
-    throw std::invalid_argument{
-        "report_run: streams must be all finite or all infinite (mixed workloads "
-        "have no single report kind)"};
+    throw Error{ErrorCode::config_invalid,
+                "report_run: streams must be all finite or all infinite (mixed workloads "
+                "have no single report kind)"};
   }
   const bool is_steady = infinite != 0;
 
@@ -289,7 +307,8 @@ RunReport report_run(const sim::MemoryConfig& config,
   } else {
     report.cycles = mem.run(options.max_cycles, /*stop_when_finished=*/true);
     if (!mem.finished()) {
-      throw std::runtime_error{"report_run: finite workload did not finish within max_cycles"};
+      throw Error{ErrorCode::deadline_exceeded,
+                  "report_run: finite workload did not finish within max_cycles"};
     }
   }
   cycles_simulated += report.cycles;
@@ -313,6 +332,67 @@ RunReport report_run(const sim::MemoryConfig& config,
   report.hottest_bank = mem.hottest_bank();
   report.metrics = collector.to_json();
   report.perf.cycles_simulated = cycles_simulated;
+  report.perf.wall_seconds = wall.seconds();
+  return report;
+}
+
+RunReport report_run_guarded(const sim::MemoryConfig& config,
+                             const std::vector<sim::StreamConfig>& streams,
+                             const sim::FaultPlan& plan, const ReportOptions& options,
+                             const sim::Watchdog& watchdog) {
+  std::size_t infinite = 0;
+  for (const auto& s : streams) {
+    if (s.length == sim::kInfiniteLength) ++infinite;
+  }
+  if (infinite != 0 && infinite != streams.size()) {
+    throw Error{ErrorCode::config_invalid,
+                "report_run_guarded: streams must be all finite or all infinite"};
+  }
+  if (infinite != 0 && options.cycles <= 0) {
+    throw Error{ErrorCode::config_invalid,
+                "report_run_guarded: infinite streams require an explicit cycles horizon "
+                "(steady-state detection is unsound while a fault plan is active)"};
+  }
+
+  RunReport report;
+  report.kind = "guarded_run";
+  report.config = config;
+  report.streams = streams;
+  report.fault_plan = plan;
+
+  const Stopwatch wall;
+  sim::MemorySystem mem{config, streams, plan};
+  Collector collector{mem};
+  std::unique_ptr<ConflictAttribution> attribution;
+  std::size_t attribution_hook = 0;
+  if (options.attribution) {
+    attribution = std::make_unique<ConflictAttribution>(
+        config, AttributionOptions{.window = options.attribution_window});
+    attribution_hook = mem.add_event_hook(
+        [a = attribution.get()](const sim::Event& e) { a->observe(e); });
+  }
+
+  const i64 horizon = options.cycles > 0 ? options.cycles : -1;
+  const sim::GuardedRun run = sim::run_guarded_on(mem, watchdog, horizon);
+
+  report.status = to_string(run.status);
+  report.status_detail = run.detail;
+  report.cycles = run.result.cycles;
+  report.ports = run.result.ports;
+  report.conflicts = run.result.conflicts;
+  report.window_bandwidth = run.result.bandwidth();
+
+  collector.finish();
+  if (attribution) {
+    mem.remove_event_hook(attribution_hook);
+    attribution->finalize(mem.now());
+    report.attribution = attribution->to_json();
+  }
+  report.bank_grants = collector.bank_grants();
+  report.bank_utilization = mem.bank_utilization();
+  report.hottest_bank = mem.hottest_bank();
+  report.metrics = collector.to_json();
+  report.perf.cycles_simulated = mem.now();
   report.perf.wall_seconds = wall.seconds();
   return report;
 }

@@ -9,7 +9,9 @@
 
 namespace vpmem::sim {
 
-/// The three access-conflict types of Section II.
+/// The three access-conflict types of Section II, plus the fault kind of
+/// the degraded-mode model (a delay caused by injected hardware faults
+/// rather than by contention between healthy resources).
 enum class ConflictKind {
   /// Access requested to an active (busy) bank; request postponed.
   bank,
@@ -19,7 +21,13 @@ enum class ConflictKind {
   /// Two or more ports of the same CPU request inactive banks within the
   /// same section (same access path); priority decides, losers wait.
   section,
+  /// Request pinned by an injected fault: target bank offline or inside a
+  /// transient stall window, or the access path down (FaultPlan).
+  fault,
 };
+
+/// Number of ConflictKind values (lost-cycle matrix stride).
+inline constexpr std::size_t kConflictKinds = 4;
 
 [[nodiscard]] std::string to_string(ConflictKind kind);
 
@@ -50,13 +58,14 @@ struct PortStats {
   i64 bank_conflicts = 0;
   i64 simultaneous_conflicts = 0;
   i64 section_conflicts = 0;
+  i64 fault_conflicts = 0;  ///< periods lost to injected faults
   i64 first_grant_cycle = -1;
   i64 last_grant_cycle = -1;
   i64 longest_stall = 0;   ///< longest run of consecutive delayed periods
   i64 current_stall = 0;   ///< internal: ongoing delay run
 
   [[nodiscard]] i64 total_conflicts() const noexcept {
-    return bank_conflicts + simultaneous_conflicts + section_conflicts;
+    return bank_conflicts + simultaneous_conflicts + section_conflicts + fault_conflicts;
   }
 };
 
@@ -65,8 +74,9 @@ struct ConflictTotals {
   i64 bank = 0;
   i64 simultaneous = 0;
   i64 section = 0;
+  i64 fault = 0;
 
-  [[nodiscard]] i64 total() const noexcept { return bank + simultaneous + section; }
+  [[nodiscard]] i64 total() const noexcept { return bank + simultaneous + section + fault; }
 };
 
 [[nodiscard]] ConflictTotals totals(const std::vector<PortStats>& ports);

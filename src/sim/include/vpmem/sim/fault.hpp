@@ -1,0 +1,123 @@
+// Fault modeling for the degraded-mode machine: timed hardware-fault
+// events (bank outage, slow bank, transient bank stall, access-path
+// outage) applied by MemorySystem under one of two degradation policies.
+//
+// The paper's model (Section II) assumes all m banks and all access paths
+// stay healthy forever; a FaultPlan relaxes exactly that assumption while
+// keeping every arbitration rule intact.  A delayed period whose cause is
+// an injected fault is classified ConflictKind::fault — never as a bank /
+// simultaneous / section conflict — so healthy-machine statistics stay
+// comparable before, during and after an outage.
+//
+// Semantics (mirrored verbatim by check::ReferenceModel, so the
+// differential fuzzer can fuzz over fault plans):
+//   * At the start of clock period t every plan event with cycle <= t
+//     that has not yet been applied takes effect, in plan order.
+//   * Under FaultPolicy::stall a request to an offline bank, to a bank
+//     inside a transient stall window, or through a downed (CPU, section)
+//     path is delayed one period (dynamic conflict resolution), kind
+//     `fault`, blocker = the requesting port itself.
+//   * Under FaultPolicy::remap_spare, while any bank is offline the
+//     interleave collapses onto the m' surviving banks (ascending order):
+//     an affine stream's request k targets surviving[(b + k*d) mod m'], a
+//     pattern stream's request k targets surviving[pattern[k] mod m'].
+//     With m' = 0 every request stalls (kind `fault`).  Stall windows and
+//     path outages delay requests under remap too.
+//   * A bank_slow event inflates the bank's effective cycle time: grants
+//     issued while it is in effect occupy the bank for `value` periods
+//     (the extra delay of later requests classifies as an ordinary bank
+//     conflict — the bank is merely slow, not refusing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpmem/sim/config.hpp"
+#include "vpmem/util/json.hpp"
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::sim {
+
+/// Current value of the "schema" member emitted by FaultPlan::to_json().
+inline constexpr const char* kFaultPlanSchema = "vpmem.fault_plan/1";
+
+/// How the machine degrades when a request targets failed hardware.
+enum class FaultPolicy {
+  /// Requests to dead hardware block their port (delayed one period at a
+  /// time, like any other conflict) until the fault clears.
+  stall,
+  /// Requests rotate onto the surviving banks, changing the effective
+  /// interleave from m to m' (Theorem 1 then holds with r' = m'/gcd(m',d)).
+  remap_spare,
+};
+
+[[nodiscard]] std::string to_string(FaultPolicy policy);
+
+/// Inverse of to_string; throws vpmem::Error{fault_plan_invalid}.
+[[nodiscard]] FaultPolicy fault_policy_from_string(const std::string& name);
+
+/// One timed fault event.
+struct FaultEvent {
+  enum class Kind {
+    bank_offline,   ///< `bank` stops accepting requests
+    bank_online,    ///< `bank` recovers
+    bank_slow,      ///< `bank`'s effective cycle time becomes `value`
+    bank_stall,     ///< `bank` rejects requests in [cycle, cycle + value)
+    path_offline,   ///< access path (`cpu`, `section`) goes down
+    path_online,    ///< access path (`cpu`, `section`) recovers
+  };
+
+  Kind kind = Kind::bank_offline;
+  i64 cycle = 0;    ///< clock period the event takes effect (>= 0)
+  i64 bank = 0;     ///< target bank, bank_* kinds only
+  i64 cpu = 0;      ///< target CPU, path_* kinds only
+  i64 section = 0;  ///< target section, path_* kinds only
+  i64 value = 0;    ///< inflated nc (bank_slow) or window length (bank_stall)
+
+  [[nodiscard]] bool targets_bank() const noexcept {
+    return kind != Kind::path_offline && kind != Kind::path_online;
+  }
+};
+
+[[nodiscard]] std::string to_string(FaultEvent::Kind kind);
+
+/// Inverse of to_string; throws vpmem::Error{fault_plan_invalid}.
+[[nodiscard]] FaultEvent::Kind fault_kind_from_string(const std::string& name);
+
+/// A degradation policy plus a cycle-sorted list of fault events.  Kept
+/// separate from MemoryConfig on purpose: steady-state detection and the
+/// analytic layer describe the healthy machine; a plan is a property of
+/// one particular run.
+struct FaultPlan {
+  FaultPolicy policy = FaultPolicy::stall;
+  std::vector<FaultEvent> events;  ///< non-decreasing cycle order
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Throws vpmem::Error{ErrorCode::fault_plan_invalid} when an event is
+  /// malformed or inconsistent with `config` (bank/section out of range,
+  /// cycles unsorted or negative, non-positive slow/stall values).
+  void validate(const MemoryConfig& config) const;
+
+  /// Schema vpmem.fault_plan/1.
+  [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json(); throws vpmem::Error{fault_plan_invalid} on
+  /// schema mismatch or malformed input.
+  [[nodiscard]] static FaultPlan from_json(const Json& json);
+
+  /// Compact single-token spec for one-line repro strings and
+  /// `vpmem_cli faults --inline`:
+  ///   <policy>[;<event>...]
+  /// with events
+  ///   boff@<cycle>:b<bank>        bon@<cycle>:b<bank>
+  ///   slow@<cycle>:b<bank>:v<nc>  bstall@<cycle>:b<bank>:v<len>
+  ///   poff@<cycle>:c<cpu>:s<sec>  pon@<cycle>:c<cpu>:s<sec>
+  /// e.g. "remap_spare;boff@40:b3;bon@200:b3".  Contains no whitespace.
+  [[nodiscard]] std::string encode() const;
+
+  /// Inverse of encode(); throws vpmem::Error{fault_plan_invalid}.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace vpmem::sim

@@ -2,15 +2,55 @@
 // arbitration implementing dynamic conflict resolution (Section II).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "vpmem/sim/config.hpp"
 #include "vpmem/sim/event.hpp"
+#include "vpmem/sim/fault.hpp"
+#include "vpmem/util/json.hpp"
 #include "vpmem/util/numeric.hpp"
 
 namespace vpmem::sim {
+
+/// Current value of the "schema" member emitted by SystemState::to_json().
+inline constexpr const char* kCheckpointSchema = "vpmem.checkpoint/1";
+
+/// A complete snapshot of a MemorySystem mid-run: configuration, fault
+/// plan (with its application cursor and the dynamic fault state), every
+/// port's stream + progress + statistics, bank occupancy and the priority
+/// rotation.  Restoring it into a fresh MemorySystem (the SystemState
+/// constructor) continues the run cycle-for-cycle identically — long
+/// sweeps checkpoint to JSON and resume after interruption.  Event hooks
+/// are not part of the state; reattach them after restoring.
+struct SystemState {
+  MemoryConfig config;
+  FaultPlan plan;
+  std::vector<StreamConfig> streams;
+  std::vector<i64> issued;       ///< per-port elements granted
+  std::vector<PortStats> stats;  ///< per-port counters (incl. current_stall)
+  std::vector<i64> bank_free_at;
+  std::vector<i64> bank_grants;
+  std::vector<i64> bank_owner;  ///< -1 = no grant yet
+  i64 now = 0;
+  i64 rr = 0;
+  // Dynamic fault state (all empty/zero when the plan is empty).
+  i64 plan_cursor = 0;                        ///< plan events already applied
+  std::vector<std::uint8_t> bank_online;      ///< empty == all online
+  std::vector<i64> bank_nc;                   ///< empty == config.bank_cycle
+  std::vector<i64> bank_stall_until;          ///< empty == no windows
+  std::vector<std::pair<i64, i64>> paths_down;  ///< active (cpu, section) outages
+
+  /// Schema vpmem.checkpoint/1.
+  [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json(); throws vpmem::Error{config_invalid} on schema
+  /// mismatch or malformed input.
+  [[nodiscard]] static SystemState from_json(const Json& json);
+};
 
 /// Cycle-accurate simulator of an m-way interleaved, sectioned memory
 /// accessed by constant-stride ports.
@@ -30,7 +70,13 @@ class MemorySystem {
  public:
   /// `streams` may be empty; ports can be injected later via add_stream
   /// (the X-MP drivers issue vector instructions as dependencies clear).
-  MemorySystem(MemoryConfig config, std::vector<StreamConfig> streams);
+  /// An optional FaultPlan degrades the machine over time (see fault.hpp
+  /// for the exact semantics); it is validated against `config`.
+  MemorySystem(MemoryConfig config, std::vector<StreamConfig> streams, FaultPlan plan = {});
+
+  /// Restore a checkpoint()ed state; the run continues cycle-for-cycle
+  /// identically.  Hooks are not restored.
+  explicit MemorySystem(const SystemState& state);
 
   /// Append a port mid-run.  `start_cycle` must be >= now().  Under fixed
   /// priority the new port ranks below all existing ones.  Returns its
@@ -49,6 +95,18 @@ class MemorySystem {
 
   [[nodiscard]] i64 now() const noexcept { return now_; }
   [[nodiscard]] const MemoryConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  /// Bank currently accepts requests (not taken offline by a fault).
+  [[nodiscard]] bool bank_online(i64 bank) const;
+
+  /// Number of online banks, m' (== banks when no fault plan is active).
+  [[nodiscard]] i64 surviving_banks() const noexcept {
+    return static_cast<i64>(surviving_.size());
+  }
+
+  /// Snapshot the complete machine state (see SystemState).
+  [[nodiscard]] SystemState checkpoint() const;
   [[nodiscard]] std::size_t port_count() const noexcept { return ports_.size(); }
   [[nodiscard]] const StreamConfig& stream(std::size_t port) const;
   [[nodiscard]] const PortStats& port_stats(std::size_t port) const;
@@ -115,8 +173,14 @@ class MemorySystem {
   };
 
   void emit(const Event& e) const;
+  void init_fault_state();
+  void apply_due_faults();
+  void rebuild_surviving();
+  [[nodiscard]] i64 effective_bank(const PortState& port) const;
+  [[nodiscard]] bool path_down(i64 cpu, i64 section) const;
 
   MemoryConfig config_;
+  FaultPlan plan_;
   std::vector<PortState> ports_;
   std::vector<i64> bank_free_at_;  ///< absolute cycle the bank becomes inactive
   std::vector<i64> bank_grants_;   ///< grants served per bank
@@ -133,6 +197,15 @@ class MemorySystem {
   // Per-step scratch (members to avoid per-cycle allocation).
   std::vector<std::size_t> bank_claim_;
   std::vector<std::size_t> path_claim_;
+  // Dynamic fault state, advanced by apply_due_faults() at the start of
+  // every step.  All-healthy when the plan is empty (the hot path then
+  // only pays one cursor comparison).
+  std::size_t plan_cursor_ = 0;               ///< next plan event to apply
+  std::vector<std::uint8_t> bank_online_;     ///< 1 = accepts requests
+  std::vector<i64> bank_nc_;                  ///< per-bank effective cycle time
+  std::vector<i64> bank_stall_until_;         ///< exclusive end of stall window
+  std::vector<std::pair<i64, i64>> paths_down_;  ///< active (cpu, section) outages
+  std::vector<i64> surviving_;                ///< online banks, ascending
 };
 
 }  // namespace vpmem::sim

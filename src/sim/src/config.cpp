@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "vpmem/util/error.hpp"
+
 namespace vpmem::sim {
+
+namespace {
+
+[[noreturn]] void bad_config(const std::string& what) {
+  throw Error{ErrorCode::config_invalid, what};
+}
+
+}  // namespace
 
 std::string to_string(SectionMapping mapping) {
   switch (mapping) {
@@ -21,14 +31,14 @@ std::string to_string(PriorityRule rule) {
 }
 
 void MemoryConfig::validate() const {
-  if (banks < 1) throw std::invalid_argument{"MemoryConfig: banks must be >= 1"};
+  if (banks < 1) bad_config("MemoryConfig: banks must be >= 1");
   if (sections < 1 || sections > banks) {
-    throw std::invalid_argument{"MemoryConfig: sections must be in [1, banks]"};
+    bad_config("MemoryConfig: sections must be in [1, banks]");
   }
   if (banks % sections != 0) {
-    throw std::invalid_argument{"MemoryConfig: sections must divide banks (s | m)"};
+    bad_config("MemoryConfig: sections must divide banks (s | m)");
   }
-  if (bank_cycle < 1) throw std::invalid_argument{"MemoryConfig: bank_cycle must be >= 1"};
+  if (bank_cycle < 1) bad_config("MemoryConfig: bank_cycle must be >= 1");
 }
 
 i64 MemoryConfig::section_of(i64 bank) const {
@@ -42,14 +52,14 @@ i64 MemoryConfig::section_of(i64 bank) const {
 
 void StreamConfig::validate(const MemoryConfig& cfg) const {
   if (start_bank < 0 || start_bank >= cfg.banks) {
-    throw std::invalid_argument{"StreamConfig: start_bank out of range"};
+    bad_config("StreamConfig: start_bank out of range");
   }
-  if (cpu < 0) throw std::invalid_argument{"StreamConfig: cpu must be >= 0"};
-  if (length < 0) throw std::invalid_argument{"StreamConfig: length must be >= 0"};
-  if (start_cycle < 0) throw std::invalid_argument{"StreamConfig: start_cycle must be >= 0"};
+  if (cpu < 0) bad_config("StreamConfig: cpu must be >= 0");
+  if (length < 0) bad_config("StreamConfig: length must be >= 0");
+  if (start_cycle < 0) bad_config("StreamConfig: start_cycle must be >= 0");
   for (i64 bank : bank_pattern) {
     if (bank < 0 || bank >= cfg.banks) {
-      throw std::invalid_argument{"StreamConfig: bank_pattern entry out of range"};
+      bad_config("StreamConfig: bank_pattern entry out of range");
     }
   }
 }

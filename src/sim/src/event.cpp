@@ -7,6 +7,7 @@ std::string to_string(ConflictKind kind) {
     case ConflictKind::bank: return "bank";
     case ConflictKind::simultaneous: return "simultaneous";
     case ConflictKind::section: return "section";
+    case ConflictKind::fault: return "fault";
   }
   return "?";
 }
@@ -17,6 +18,7 @@ ConflictTotals totals(const std::vector<PortStats>& ports) {
     t.bank += p.bank_conflicts;
     t.simultaneous += p.simultaneous_conflicts;
     t.section += p.section_conflicts;
+    t.fault += p.fault_conflicts;
   }
   return t;
 }

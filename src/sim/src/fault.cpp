@@ -1,0 +1,234 @@
+#include "vpmem/sim/fault.hpp"
+
+#include <charconv>
+
+#include "vpmem/util/error.hpp"
+
+namespace vpmem::sim {
+
+namespace {
+
+[[noreturn]] void bad_plan(const std::string& what) {
+  throw Error{ErrorCode::fault_plan_invalid, "FaultPlan: " + what};
+}
+
+/// Split `text` on `sep` (no empty-segment suppression).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+i64 parse_i64(const std::string& text, const std::string& context) {
+  i64 value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) {
+    bad_plan("expected an integer in '" + context + "'");
+  }
+  return value;
+}
+
+/// Field `tag`<int> out of `token`, e.g. "b3" with tag 'b'.
+i64 tagged_i64(const std::string& field, char tag, const std::string& context) {
+  if (field.empty() || field[0] != tag) {
+    bad_plan("expected '" + std::string{tag} + "<int>' in '" + context + "'");
+  }
+  return parse_i64(field.substr(1), context);
+}
+
+}  // namespace
+
+std::string to_string(FaultPolicy policy) {
+  switch (policy) {
+    case FaultPolicy::stall: return "stall";
+    case FaultPolicy::remap_spare: return "remap_spare";
+  }
+  return "?";
+}
+
+FaultPolicy fault_policy_from_string(const std::string& name) {
+  for (FaultPolicy p : {FaultPolicy::stall, FaultPolicy::remap_spare}) {
+    if (to_string(p) == name) return p;
+  }
+  bad_plan("unknown policy '" + name + "'");
+}
+
+std::string to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::bank_offline: return "bank_offline";
+    case FaultEvent::Kind::bank_online: return "bank_online";
+    case FaultEvent::Kind::bank_slow: return "bank_slow";
+    case FaultEvent::Kind::bank_stall: return "bank_stall";
+    case FaultEvent::Kind::path_offline: return "path_offline";
+    case FaultEvent::Kind::path_online: return "path_online";
+  }
+  return "?";
+}
+
+FaultEvent::Kind fault_kind_from_string(const std::string& name) {
+  for (FaultEvent::Kind k :
+       {FaultEvent::Kind::bank_offline, FaultEvent::Kind::bank_online,
+        FaultEvent::Kind::bank_slow, FaultEvent::Kind::bank_stall,
+        FaultEvent::Kind::path_offline, FaultEvent::Kind::path_online}) {
+    if (to_string(k) == name) return k;
+  }
+  bad_plan("unknown event kind '" + name + "'");
+}
+
+void FaultPlan::validate(const MemoryConfig& config) const {
+  i64 prev_cycle = 0;
+  for (const FaultEvent& e : events) {
+    const std::string label = to_string(e.kind) + "@" + std::to_string(e.cycle);
+    if (e.cycle < 0) bad_plan(label + ": cycle must be >= 0");
+    if (e.cycle < prev_cycle) bad_plan(label + ": events must be sorted by cycle");
+    prev_cycle = e.cycle;
+    if (e.targets_bank()) {
+      if (e.bank < 0 || e.bank >= config.banks) bad_plan(label + ": bank out of range");
+    } else {
+      if (e.cpu < 0) bad_plan(label + ": cpu must be >= 0");
+      if (e.section < 0 || e.section >= config.sections) {
+        bad_plan(label + ": section out of range");
+      }
+    }
+    if (e.kind == FaultEvent::Kind::bank_slow && e.value < 1) {
+      bad_plan(label + ": slow-bank cycle time must be >= 1");
+    }
+    if (e.kind == FaultEvent::Kind::bank_stall && e.value < 1) {
+      bad_plan(label + ": stall window length must be >= 1");
+    }
+  }
+}
+
+Json FaultPlan::to_json() const {
+  Json out = Json::object();
+  out["schema"] = kFaultPlanSchema;
+  out["policy"] = to_string(policy);
+  Json list = Json::array();
+  for (const FaultEvent& e : events) {
+    Json entry = Json::object();
+    entry["kind"] = to_string(e.kind);
+    entry["cycle"] = e.cycle;
+    if (e.targets_bank()) {
+      entry["bank"] = e.bank;
+    } else {
+      entry["cpu"] = e.cpu;
+      entry["section"] = e.section;
+    }
+    if (e.kind == FaultEvent::Kind::bank_slow || e.kind == FaultEvent::Kind::bank_stall) {
+      entry["value"] = e.value;
+    }
+    list.push_back(std::move(entry));
+  }
+  out["events"] = std::move(list);
+  return out;
+}
+
+FaultPlan FaultPlan::from_json(const Json& json) {
+  try {
+    if (!json.contains("schema") || json.at("schema").as_string() != kFaultPlanSchema) {
+      bad_plan("unknown or missing schema");
+    }
+    FaultPlan plan;
+    plan.policy = fault_policy_from_string(json.at("policy").as_string());
+    for (const Json& entry : json.at("events").as_array()) {
+      FaultEvent e;
+      e.kind = fault_kind_from_string(entry.at("kind").as_string());
+      e.cycle = entry.at("cycle").as_int();
+      if (e.targets_bank()) {
+        e.bank = entry.at("bank").as_int();
+      } else {
+        e.cpu = entry.at("cpu").as_int();
+        e.section = entry.at("section").as_int();
+      }
+      if (entry.contains("value")) e.value = entry.at("value").as_int();
+      plan.events.push_back(e);
+    }
+    return plan;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception& e) {  // missing member / wrong type
+    bad_plan(std::string{"malformed document: "} + e.what());
+  }
+}
+
+std::string FaultPlan::encode() const {
+  std::string out = to_string(policy);
+  for (const FaultEvent& e : events) {
+    out += ';';
+    switch (e.kind) {
+      case FaultEvent::Kind::bank_offline: out += "boff"; break;
+      case FaultEvent::Kind::bank_online: out += "bon"; break;
+      case FaultEvent::Kind::bank_slow: out += "slow"; break;
+      case FaultEvent::Kind::bank_stall: out += "bstall"; break;
+      case FaultEvent::Kind::path_offline: out += "poff"; break;
+      case FaultEvent::Kind::path_online: out += "pon"; break;
+    }
+    out += '@' + std::to_string(e.cycle);
+    if (e.targets_bank()) {
+      out += ":b" + std::to_string(e.bank);
+    } else {
+      out += ":c" + std::to_string(e.cpu) + ":s" + std::to_string(e.section);
+    }
+    if (e.kind == FaultEvent::Kind::bank_slow || e.kind == FaultEvent::Kind::bank_stall) {
+      out += ":v" + std::to_string(e.value);
+    }
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ';');
+  FaultPlan plan;
+  plan.policy = fault_policy_from_string(parts[0]);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& token = parts[i];
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) bad_plan("expected '<kind>@<cycle>...' in '" + token + "'");
+    const std::string mnemonic = token.substr(0, at);
+    const std::vector<std::string> fields = split(token.substr(at + 1), ':');
+    FaultEvent e;
+    if (mnemonic == "boff") {
+      e.kind = FaultEvent::Kind::bank_offline;
+    } else if (mnemonic == "bon") {
+      e.kind = FaultEvent::Kind::bank_online;
+    } else if (mnemonic == "slow") {
+      e.kind = FaultEvent::Kind::bank_slow;
+    } else if (mnemonic == "bstall") {
+      e.kind = FaultEvent::Kind::bank_stall;
+    } else if (mnemonic == "poff") {
+      e.kind = FaultEvent::Kind::path_offline;
+    } else if (mnemonic == "pon") {
+      e.kind = FaultEvent::Kind::path_online;
+    } else {
+      bad_plan("unknown event mnemonic '" + mnemonic + "'");
+    }
+    const bool has_value =
+        e.kind == FaultEvent::Kind::bank_slow || e.kind == FaultEvent::Kind::bank_stall;
+    const std::size_t expected = e.targets_bank() ? (has_value ? 3u : 2u) : 3u;
+    if (fields.size() != expected) {
+      bad_plan("wrong field count in '" + token + "'");
+    }
+    e.cycle = parse_i64(fields[0], token);
+    if (e.targets_bank()) {
+      e.bank = tagged_i64(fields[1], 'b', token);
+      if (has_value) e.value = tagged_i64(fields[2], 'v', token);
+    } else {
+      e.cpu = tagged_i64(fields[1], 'c', token);
+      e.section = tagged_i64(fields[2], 's', token);
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+}  // namespace vpmem::sim

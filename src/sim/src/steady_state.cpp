@@ -25,6 +25,7 @@ PortStats delta(const PortStats& later, const PortStats& earlier) {
   d.bank_conflicts = later.bank_conflicts - earlier.bank_conflicts;
   d.simultaneous_conflicts = later.simultaneous_conflicts - earlier.simultaneous_conflicts;
   d.section_conflicts = later.section_conflicts - earlier.section_conflicts;
+  d.fault_conflicts = later.fault_conflicts - earlier.fault_conflicts;
   d.first_grant_cycle = earlier.last_grant_cycle;
   d.last_grant_cycle = later.last_grant_cycle;
   return d;
@@ -62,6 +63,7 @@ SteadyState find_steady_state(const MemoryConfig& config,
         out.conflicts_in_period.bank += d.bank_conflicts;
         out.conflicts_in_period.simultaneous += d.simultaneous_conflicts;
         out.conflicts_in_period.section += d.section_conflicts;
+        out.conflicts_in_period.fault += d.fault_conflicts;
         out.per_port_delta.push_back(d);
       }
       out.bandwidth = Rational{total_grants, out.period};

@@ -68,7 +68,9 @@ std::vector<std::string> Timeline::grid(i64 from, i64 to) const {
     const auto row = static_cast<std::size_t>(e.bank);
     if (grant_start[row][col]) return;
     char marker = '*';
-    if (e.conflict != sim::ConflictKind::section) {
+    if (e.conflict == sim::ConflictKind::fault) {
+      marker = 'x';  // request pinned by an injected fault, not contention
+    } else if (e.conflict != sim::ConflictKind::section) {
       marker = e.port > e.blocker ? '<' : '>';
     }
     rows[row][col] = marker;

@@ -1,0 +1,48 @@
+// Typed error hierarchy with stable, machine-readable error codes.
+//
+// Library layers throw vpmem::Error instead of bare std::runtime_error /
+// std::invalid_argument so that callers (the CLI, the fuzz harness, sweep
+// drivers) can react to *what* went wrong without string-matching what():
+// each code is a stable contract — vpmem_cli maps them to distinct process
+// exit codes and to the "code" member of its --json error envelope.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vpmem {
+
+/// Stable error codes.  Append-only: the names (and the CLI exit codes
+/// derived from them) are part of the vpmem.cli/1 contract.
+enum class ErrorCode {
+  /// A MemoryConfig/StreamConfig (or other run parameter) failed
+  /// validation.
+  config_invalid,
+  /// A FaultPlan failed validation (unknown event kind, bank/path out of
+  /// range, unsorted or negative cycles, bad policy).
+  fault_plan_invalid,
+  /// A guarded run exhausted its cycle budget before the workload
+  /// finished.
+  deadline_exceeded,
+  /// A guarded run made no progress (no grant) for the livelock window —
+  /// typically a request pinned on a failed bank under the stall policy.
+  livelock,
+};
+
+/// Stable lower-case name of `code` ("config_invalid", ...).
+[[nodiscard]] std::string to_string(ErrorCode code);
+
+/// Exception carrying an ErrorCode.  Derives from std::runtime_error so
+/// pre-existing catch sites keep working; new code should catch
+/// vpmem::Error and dispatch on code().
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what) : std::runtime_error{what}, code_{code} {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace vpmem

@@ -1,0 +1,15 @@
+#include "vpmem/util/error.hpp"
+
+namespace vpmem {
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::config_invalid: return "config_invalid";
+    case ErrorCode::fault_plan_invalid: return "fault_plan_invalid";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::livelock: return "livelock";
+  }
+  return "?";
+}
+
+}  // namespace vpmem

@@ -55,8 +55,17 @@ void write_double(std::ostream& os, double d) {
 }
 
 /// Strict recursive-descent parser over a string_view.
+///
+/// Nesting depth is capped: adversarial input like ten thousand '['s
+/// would otherwise recurse once per bracket and overflow the stack —
+/// undefined behaviour reachable from any file we parse (fuzz --replay
+/// corpora, report round-trips).  No legitimate vpmem.* document nests
+/// more than a handful of levels.
 class Parser {
  public:
+  /// Maximum container nesting accepted by parse().
+  static constexpr int kMaxDepth = 128;
+
   explicit Parser(std::string_view text) : text_{text} {}
 
   Json run() {
@@ -98,8 +107,20 @@ class Parser {
   Json value() {
     skip_ws();
     switch (peek()) {
-      case '{': return object();
-      case '[': return array();
+      case '{': {
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        Json v = object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        Json v = array();
+        --depth_;
+        return v;
+      }
       case '"': return Json{string()};
       case 't':
         if (consume_literal("true")) return Json{true};
@@ -240,33 +261,42 @@ class Parser {
   }
 
   Json number() {
+    // Strict RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // "01", "1." and "1e" are rejected rather than passed to from_chars,
+    // which is more lenient than JSON.
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    const std::size_t int_start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
       ++pos_;
     }
+    if (pos_ == int_start) fail("invalid number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1) fail("leading zero in number");
     bool is_double = false;
     if (pos_ < text_.size() && text_[pos_] == '.') {
       is_double = true;
       ++pos_;
+      const std::size_t frac_start = pos_;
       while (pos_ < text_.size() &&
              (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
         ++pos_;
       }
+      if (pos_ == frac_start) fail("missing digits after decimal point");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       is_double = true;
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp_start = pos_;
       while (pos_ < text_.size() &&
              (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
         ++pos_;
       }
+      if (pos_ == exp_start) fail("missing digits in exponent");
     }
     const char* first = text_.data() + start;
     const char* last = text_.data() + pos_;
-    if (first == last || (*first == '-' && first + 1 == last)) fail("invalid number");
     if (!is_double) {
       i64 n = 0;
       const auto [ptr, ec] = std::from_chars(first, last, n);
@@ -281,6 +311,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

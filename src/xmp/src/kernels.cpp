@@ -289,6 +289,7 @@ MultitaskResult run_kernel_multitasked(const XmpConfig& config, const KernelSpec
   out.conflicts.bank += c1.bank;
   out.conflicts.simultaneous += c1.simultaneous;
   out.conflicts.section += c1.section;
+  out.conflicts.fault += c1.fault;
   return out;
 }
 

@@ -1,0 +1,100 @@
+// Acceptance test for the fault-model differential harness: 5000
+// randomized fault plans (both degradation policies, all six event
+// kinds) where the simulator and the naive reference model must agree
+// event-for-event and stats field-for-field.
+#include <gtest/gtest.h>
+
+#include "vpmem/check/differential.hpp"
+#include "vpmem/check/fuzzer.hpp"
+#include "vpmem/check/replay.hpp"
+#include "vpmem/sim/fault.hpp"
+
+namespace vpmem {
+namespace {
+
+using check::FuzzOptions;
+using check::FuzzSummary;
+
+TEST(FaultPlanFuzz, FiveThousandRandomPlansAgree) {
+  FuzzOptions options;
+  options.seed = 0x0ed1985;  // fixed: the whole run is deterministic
+  options.iterations = 5000;
+  options.fault_plans = true;
+  const FuzzSummary summary = check::fuzz(options);
+  EXPECT_EQ(summary.iterations, 5000);
+  for (const auto& f : summary.failures) {
+    ADD_FAILURE() << "iteration " << f.iteration << " [" << f.check << "] " << f.message
+                  << "\n  replay: " << f.repro;
+  }
+  EXPECT_GE(summary.checks_run, 5000);
+  EXPECT_GT(summary.events_compared, 100'000);
+}
+
+TEST(FaultPlanFuzz, PlanCasesExerciseBothPoliciesAndAllKinds) {
+  // The sampler must actually cover the fault space: over 200 cases we
+  // expect both policies and every event kind to appear.
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 200;
+  options.fault_plans = true;
+  baseline::SplitMix64 rng{options.seed};
+  bool saw_stall = false, saw_remap = false;
+  bool saw_kind[6] = {};
+  i64 with_plan = 0;
+  for (i64 i = 0; i < options.iterations; ++i) {
+    const check::FuzzCase fuzz_case = check::sample_case(rng, options);
+    if (fuzz_case.plan.empty()) continue;
+    ++with_plan;
+    saw_stall |= fuzz_case.plan.policy == sim::FaultPolicy::stall;
+    saw_remap |= fuzz_case.plan.policy == sim::FaultPolicy::remap_spare;
+    for (const auto& e : fuzz_case.plan.events) {
+      saw_kind[static_cast<int>(e.kind)] = true;
+    }
+  }
+  EXPECT_GT(with_plan, 100);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_remap);
+  for (int k = 0; k < 6; ++k) EXPECT_TRUE(saw_kind[k]) << "event kind " << k << " never sampled";
+}
+
+TEST(FaultPlanFuzz, DirectedPlansAgreeUnderBothPolicies) {
+  // A dense, deliberately nasty plan — overlapping stall windows, a slow
+  // bank, an outage spanning a recovery, and a path flap — checked
+  // event-for-event under both policies on the Fig. 2 machine.
+  const sim::MemoryConfig config{.banks = 12, .sections = 3, .bank_cycle = 3};
+  const auto streams = sim::two_streams(0, 1, 3, 7);
+  for (const sim::FaultPolicy policy :
+       {sim::FaultPolicy::stall, sim::FaultPolicy::remap_spare}) {
+    sim::FaultPlan plan;
+    plan.policy = policy;
+    plan.events = {
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_stall, .cycle = 5, .bank = 0,
+                        .value = 10},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_stall, .cycle = 9, .bank = 0,
+                        .value = 3},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_slow, .cycle = 12, .bank = 7,
+                        .value = 6},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_offline, .cycle = 20, .bank = 3},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::path_offline, .cycle = 24, .cpu = 1,
+                        .section = 2},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::path_online, .cycle = 40, .cpu = 1,
+                        .section = 2},
+        sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_online, .cycle = 60, .bank = 3}};
+    const check::DiffResult diff = check::diff_run(config, streams, /*cycles=*/160, plan);
+    EXPECT_TRUE(diff.agreed) << to_string(policy) << ": " << diff.message;
+    EXPECT_GT(diff.events_compared, 0);
+  }
+}
+
+TEST(FaultPlanFuzz, DeterministicPerSeed) {
+  FuzzOptions options;
+  options.iterations = 50;
+  options.fault_plans = true;
+  const FuzzSummary a = check::fuzz(options);
+  const FuzzSummary b = check::fuzz(options);
+  EXPECT_EQ(a.events_compared, b.events_compared);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -5,6 +5,8 @@
 
 #include "vpmem/check/fuzzer.hpp"
 #include "vpmem/check/replay.hpp"
+#include "vpmem/sim/fault.hpp"
+#include "vpmem/util/error.hpp"
 
 namespace vpmem {
 namespace {
@@ -79,8 +81,82 @@ TEST(Replay, ParseRejectsMalformedLines) {
   reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=c0,linf,t0");        // no banks
   reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b0,d1,q9");          // unknown field
   reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=p,c0");              // empty pattern
-  reject("vpmem.fuzz/1 m=4 s=3 nc=1 stream=b0,d1");             // s does not divide m
-  reject("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b7,d1");             // bank out of range
+  // Well-formed lines with semantically invalid content fail config or
+  // plan validation and surface as typed vpmem::Error instead.
+  const auto reject_typed = [](const std::string& line, vpmem::ErrorCode code) {
+    try {
+      static_cast<void>(check::parse_repro(line));
+      FAIL() << "expected vpmem::Error for: " << line;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), code) << line;
+    }
+  };
+  reject_typed("vpmem.fuzz/1 m=4 s=3 nc=1 stream=b0,d1", ErrorCode::config_invalid);
+  reject_typed("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b7,d1", ErrorCode::config_invalid);
+  reject_typed("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b0,d1 fplan=nonsense",
+               ErrorCode::fault_plan_invalid);
+  reject_typed("vpmem.fuzz/1 m=4 s=4 nc=1 stream=b0,d1 fplan=stall;boff@0:b9",
+               ErrorCode::fault_plan_invalid);  // bank 9 out of range for m=4
+}
+
+TEST(Replay, FaultPlanRoundTripsThroughRepro) {
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 8, .sections = 4, .bank_cycle = 3};
+  fuzz_case.streams = {sim::StreamConfig{.start_bank = 1, .distance = 3, .length = 32}};
+  fuzz_case.cycles = 64;
+  fuzz_case.plan.policy = sim::FaultPolicy::remap_spare;
+  fuzz_case.plan.events = {
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_offline, .cycle = 8, .bank = 3},
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_slow, .cycle = 10, .bank = 5,
+                      .value = 6},
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::path_offline, .cycle = 12, .cpu = 0,
+                      .section = 2},
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_online, .cycle = 20, .bank = 3}};
+  const std::string line = check::encode_repro(fuzz_case);
+  const std::size_t at = line.find(" fplan=");
+  ASSERT_NE(at, std::string::npos) << line;
+  // The plan encodes as ONE whitespace-free token so the line still
+  // splits on spaces; re-parsing just that token must give the plan back.
+  const std::size_t value_begin = at + 7;
+  const std::size_t value_end = line.find(' ', value_begin);
+  const std::string token = line.substr(value_begin, value_end - value_begin);
+  EXPECT_EQ(sim::FaultPlan::parse(token).encode(), fuzz_case.plan.encode());
+  const FuzzCase parsed = check::parse_repro(line);
+  EXPECT_EQ(parsed.plan.policy, fuzz_case.plan.policy);
+  ASSERT_EQ(parsed.plan.events.size(), fuzz_case.plan.events.size());
+  for (std::size_t i = 0; i < fuzz_case.plan.events.size(); ++i) {
+    EXPECT_EQ(parsed.plan.events[i].kind, fuzz_case.plan.events[i].kind) << i;
+    EXPECT_EQ(parsed.plan.events[i].cycle, fuzz_case.plan.events[i].cycle) << i;
+    EXPECT_EQ(parsed.plan.events[i].bank, fuzz_case.plan.events[i].bank) << i;
+    EXPECT_EQ(parsed.plan.events[i].value, fuzz_case.plan.events[i].value) << i;
+    EXPECT_EQ(parsed.plan.events[i].cpu, fuzz_case.plan.events[i].cpu) << i;
+    EXPECT_EQ(parsed.plan.events[i].section, fuzz_case.plan.events[i].section) << i;
+  }
+  EXPECT_EQ(check::encode_repro(parsed), line);
+  // A plan-free case must not grow an fplan token.
+  fuzz_case.plan = {};
+  EXPECT_EQ(check::encode_repro(fuzz_case).find("fplan"), std::string::npos);
+}
+
+TEST(Replay, ShrinkDropsIrrelevantFaultPlan) {
+  // The reference-model fault (short_bank_busy) fails with or without the
+  // sim-side plan, so the shrinker's plan stage must remove it whole.
+  FuzzCase fuzz_case;
+  fuzz_case.config = sim::MemoryConfig{.banks = 4, .sections = 4, .bank_cycle = 2};
+  fuzz_case.streams = {sim::StreamConfig{.start_bank = 2, .distance = 0}};
+  fuzz_case.cycles = 32;
+  fuzz_case.fault = FaultKind::short_bank_busy;
+  fuzz_case.plan.policy = sim::FaultPolicy::stall;
+  fuzz_case.plan.events = {
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_stall, .cycle = 4, .bank = 1,
+                      .value = 3}};
+  const auto still_fails = [](const FuzzCase& candidate) {
+    return !check::check_case(candidate, {}, /*run_invariants=*/false).ok();
+  };
+  ASSERT_TRUE(still_fails(fuzz_case));
+  const FuzzCase shrunk = check::shrink_case(fuzz_case, still_fails);
+  EXPECT_TRUE(shrunk.plan.empty());
+  EXPECT_TRUE(still_fails(shrunk));
 }
 
 TEST(Replay, ShrinkDropsRedundantStreamsAndCycles) {

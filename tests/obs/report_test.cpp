@@ -8,8 +8,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vpmem/sim/fault.hpp"
 #include "vpmem/sim/memory_system.hpp"
 #include "vpmem/sim/steady_state.hpp"
+#include "vpmem/util/error.hpp"
 #include "vpmem/xmp/machine.hpp"
 
 namespace vpmem::obs {
@@ -99,7 +101,116 @@ TEST(RunReport, MixedWorkloadRejected) {
   const sim::MemoryConfig config{.banks = 8, .sections = 8, .bank_cycle = 4};
   auto streams = sim::two_streams(0, 1, 4, 3);
   streams[0].length = 32;  // stream 1 stays infinite
-  EXPECT_THROW((void)report_run(config, streams), std::invalid_argument);
+  try {
+    (void)report_run(config, streams);
+    FAIL() << "expected vpmem::Error";
+  } catch (const vpmem::Error& e) {
+    EXPECT_EQ(e.code(), vpmem::ErrorCode::config_invalid);
+  }
+}
+
+TEST(RunReport, GuardedRunCompletesWithFaultPlan) {
+  const sim::MemoryConfig config{.banks = 12, .sections = 3, .bank_cycle = 3};
+  auto streams = sim::two_streams(0, 1, 3, 7);
+  for (auto& s : streams) s.length = 64;
+  sim::FaultPlan plan;
+  plan.policy = sim::FaultPolicy::remap_spare;
+  plan.events = {
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_offline, .cycle = 16, .bank = 5},
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_online, .cycle = 96, .bank = 5}};
+  const RunReport report = report_run_guarded(config, streams, plan);
+  EXPECT_EQ(report.kind, "guarded_run");
+  EXPECT_EQ(report.status, "completed");
+  EXPECT_TRUE(report.status_detail.empty());
+  ASSERT_EQ(report.fault_plan.events.size(), 2u);
+
+  // Counters must reconcile with a bare MemorySystem run under the same
+  // plan (the acceptance invariant, now including fault conflicts).
+  sim::MemorySystem mem{config, streams, plan};
+  mem.run(report.cycles, /*stop_when_finished=*/false);
+  const auto truth = mem.all_stats();
+  ASSERT_EQ(report.ports.size(), truth.size());
+  for (std::size_t p = 0; p < truth.size(); ++p) {
+    SCOPED_TRACE("port " + std::to_string(p));
+    EXPECT_EQ(report.ports[p].grants, truth[p].grants);
+    EXPECT_EQ(report.ports[p].bank_conflicts, truth[p].bank_conflicts);
+    EXPECT_EQ(report.ports[p].simultaneous_conflicts, truth[p].simultaneous_conflicts);
+    EXPECT_EQ(report.ports[p].section_conflicts, truth[p].section_conflicts);
+    EXPECT_EQ(report.ports[p].fault_conflicts, truth[p].fault_conflicts);
+  }
+
+  // Attribution rides along and reconciles cycle-for-cycle.
+  ASSERT_FALSE(report.attribution.is_null());
+  const Json json = report.to_json();
+  EXPECT_EQ(json.at("status").as_string(), "completed");
+  EXPECT_FALSE(json.at("fault_plan").is_null());
+  const RunReport back = RunReport::from_json(json);
+  EXPECT_EQ(back.status, report.status);
+  EXPECT_EQ(back.fault_plan.events.size(), report.fault_plan.events.size());
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(RunReport, GuardedRunReportsDeadlineAsPartialReport) {
+  const sim::MemoryConfig config{.banks = 8, .sections = 8, .bank_cycle = 4};
+  std::vector<sim::StreamConfig> streams{
+      sim::StreamConfig{.start_bank = 0, .distance = 4, .length = 1000}};
+  const sim::Watchdog dog{.max_cycles = 50};
+  const RunReport report = report_run_guarded(config, streams, {}, {}, dog);
+  EXPECT_EQ(report.status, "deadline_exceeded");
+  EXPECT_FALSE(report.status_detail.empty());
+  EXPECT_EQ(report.cycles, 50);
+  EXPECT_GT(report.ports.at(0).grants, 0);  // partial progress, not a throw
+}
+
+TEST(RunReport, GuardedRunLivelockUnderPermanentOutage) {
+  const sim::MemoryConfig config{.banks = 8, .sections = 8, .bank_cycle = 2};
+  std::vector<sim::StreamConfig> streams{
+      sim::StreamConfig{.start_bank = 0, .distance = 1, .length = 64}};
+  sim::FaultPlan plan;
+  plan.policy = sim::FaultPolicy::stall;
+  plan.events = {
+      sim::FaultEvent{.kind = sim::FaultEvent::Kind::bank_offline, .cycle = 4, .bank = 4}};
+  const RunReport report = report_run_guarded(config, streams, plan);
+  EXPECT_EQ(report.status, "livelock");
+  EXPECT_FALSE(report.status_detail.empty());
+  EXPECT_EQ(report.ports.at(0).grants, 4);
+  EXPECT_GT(report.conflicts.fault, 0);
+}
+
+TEST(RunReport, GuardedRunInfiniteStreamsNeedExplicitHorizon) {
+  const sim::MemoryConfig config{.banks = 8, .sections = 8, .bank_cycle = 2};
+  const std::vector<sim::StreamConfig> streams{sim::StreamConfig{.distance = 1}};
+  try {
+    (void)report_run_guarded(config, streams);
+    FAIL() << "expected vpmem::Error";
+  } catch (const vpmem::Error& e) {
+    EXPECT_EQ(e.code(), vpmem::ErrorCode::config_invalid);
+  }
+  ReportOptions options;
+  options.cycles = 96;
+  const RunReport report = report_run_guarded(config, streams, {}, options);
+  EXPECT_EQ(report.status, "completed");
+  EXPECT_EQ(report.cycles, 96);
+  EXPECT_EQ(report.ports.at(0).grants, 96);
+}
+
+TEST(RunReport, PreFaultDocumentsParseAsCompleted) {
+  // Reports serialized before the fault model carry neither "status" nor
+  // "fault_plan"; from_json must default them instead of throwing.
+  RunReport report;
+  report.kind = "finite_run";
+  report.config = sim::MemoryConfig{.banks = 2, .sections = 2, .bank_cycle = 1};
+  std::string text = report.to_json().dump();
+  const auto drop = [&text](const std::string& member) {
+    const std::size_t at = text.find(member);
+    ASSERT_NE(at, std::string::npos) << member;
+    text.erase(at, member.size());
+  };
+  drop("\"status\":\"completed\",");
+  drop("\"fault_plan\":null,");
+  const RunReport back = RunReport::from_json(Json::parse(text));
+  EXPECT_EQ(back.status, "completed");
+  EXPECT_TRUE(back.fault_plan.empty());
 }
 
 TEST(RunReport, JsonRoundTrip) {
@@ -153,15 +264,19 @@ TEST(RunReport, GoldenJson) {
 
   const std::string golden =
       "{\"schema\":\"vpmem.run_report/1\",\"kind\":\"finite_run\","
+      "\"status\":\"completed\","
       "\"config\":{\"banks\":4,\"sections\":2,\"bank_cycle\":3,"
       "\"mapping\":\"cyclic\",\"priority\":\"fixed\"},"
       "\"streams\":[{\"start_bank\":1,\"distance\":2,\"cpu\":0,\"length\":8,"
       "\"start_cycle\":0,\"bank_pattern\":[]}],"
+      "\"fault_plan\":null,"
       "\"window\":{\"cycles\":10,\"bandwidth\":0.8,"
-      "\"conflicts\":{\"bank\":2,\"simultaneous\":0,\"section\":0,\"total\":2},"
+      "\"conflicts\":{\"bank\":2,\"simultaneous\":0,\"section\":0,\"fault\":0,"
+      "\"total\":2},"
       "\"bank_utilization\":0.5,\"hottest_bank\":0,\"bank_grants\":[4,0,4,0]},"
       "\"ports\":[{\"grants\":8,\"bank_conflicts\":2,\"simultaneous_conflicts\":0,"
-      "\"section_conflicts\":0,\"first_grant_cycle\":0,\"last_grant_cycle\":9,"
+      "\"section_conflicts\":0,\"fault_conflicts\":0,"
+      "\"first_grant_cycle\":0,\"last_grant_cycle\":9,"
       "\"longest_stall\":2}],"
       "\"steady_state\":null,\"metrics\":null,\"attribution\":null,"
       "\"perf\":{\"wall_seconds\":0.5,\"cycles_simulated\":10,"

@@ -1,5 +1,7 @@
 #include "vpmem/sim/config.hpp"
 
+#include "vpmem/util/error.hpp"
+
 #include <gtest/gtest.h>
 
 namespace vpmem::sim {
@@ -13,18 +15,18 @@ TEST(MemoryConfig, DefaultsValid) {
 TEST(MemoryConfig, RejectsBadBankCounts) {
   MemoryConfig cfg;
   cfg.banks = 0;
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
   cfg.banks = -4;
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
 }
 
 TEST(MemoryConfig, RejectsSectionsNotDividingBanks) {
   MemoryConfig cfg{.banks = 12, .sections = 5};
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
   cfg.sections = 13;
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
   cfg.sections = 0;
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
   cfg.sections = 3;
   EXPECT_NO_THROW(cfg.validate());
 }
@@ -32,7 +34,19 @@ TEST(MemoryConfig, RejectsSectionsNotDividingBanks) {
 TEST(MemoryConfig, RejectsBadBankCycle) {
   MemoryConfig cfg;
   cfg.bank_cycle = 0;
-  EXPECT_THROW(static_cast<void>(cfg.validate()), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cfg.validate()), vpmem::Error);
+}
+
+TEST(MemoryConfig, ValidationErrorsCarryStableCode) {
+  MemoryConfig cfg;
+  cfg.banks = 0;
+  try {
+    cfg.validate();
+    FAIL() << "expected vpmem::Error";
+  } catch (const vpmem::Error& e) {
+    EXPECT_EQ(e.code(), vpmem::ErrorCode::config_invalid);
+    EXPECT_EQ(to_string(e.code()), "config_invalid");
+  }
 }
 
 TEST(MemoryConfig, CyclicSectionMapping) {
@@ -67,20 +81,20 @@ TEST(StreamConfig, Validation) {
   StreamConfig s;
   EXPECT_NO_THROW(s.validate(cfg));
   s.start_bank = 8;
-  EXPECT_THROW(static_cast<void>(s.validate(cfg)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.validate(cfg)), vpmem::Error);
   s.start_bank = -1;
-  EXPECT_THROW(static_cast<void>(s.validate(cfg)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.validate(cfg)), vpmem::Error);
   s.start_bank = 0;
   s.distance = -1;  // negative strides are legal (reduced mod m)
   EXPECT_NO_THROW(s.validate(cfg));
   s.distance = 1;
   s.length = -2;
-  EXPECT_THROW(static_cast<void>(s.validate(cfg)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.validate(cfg)), vpmem::Error);
   s.length = 10;
   s.start_cycle = -1;
-  EXPECT_THROW(static_cast<void>(s.validate(cfg)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.validate(cfg)), vpmem::Error);
   s.cpu = -1;
-  EXPECT_THROW(static_cast<void>(s.validate(cfg)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.validate(cfg)), vpmem::Error);
 }
 
 TEST(TwoStreams, CpuAssignment) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "vpmem/sim/memory_system.hpp"
+#include "vpmem/util/error.hpp"
 #include "vpmem/sim/steady_state.hpp"
 
 namespace vpmem::sim {
@@ -26,9 +27,9 @@ TEST(PatternStream, FollowsExplicitSequence) {
 TEST(PatternStream, ValidatesEntries) {
   StreamConfig s;
   s.bank_pattern = {0, 8};
-  EXPECT_THROW(MemorySystem(flat(8, 2), {s}), std::invalid_argument);
+  EXPECT_THROW(MemorySystem(flat(8, 2), {s}), vpmem::Error);
   s.bank_pattern = {-1};
-  EXPECT_THROW(MemorySystem(flat(8, 2), {s}), std::invalid_argument);
+  EXPECT_THROW(MemorySystem(flat(8, 2), {s}), vpmem::Error);
 }
 
 TEST(PatternStream, EquivalentToAffineStreamWhenPatternIsAffine) {

@@ -110,6 +110,62 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("-"), std::runtime_error);
 }
 
+TEST(Json, ParseErrorsCarryBytePosition) {
+  // Positioned diagnostics: a truncated report should say *where* it
+  // broke, not just that it did.
+  try {
+    static_cast<void>(Json::parse("{\"a\": 1, \"b\": }"));
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("at offset 14"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, ParseRejectsDeepNestingWithoutOverflow) {
+  // kMaxDepth guards the recursive descent: 10k brackets must fail
+  // cleanly instead of overflowing the stack (UB reachable from any
+  // attacker-supplied --plan / --replay file).
+  const std::string deep_arrays(10'000, '[');
+  EXPECT_THROW(Json::parse(deep_arrays), std::runtime_error);
+  std::string deep_objects;
+  for (int i = 0; i < 10'000; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW(Json::parse(deep_objects), std::runtime_error);
+  // Exactly at the limit still parses (127 nested arrays < kMaxDepth=128).
+  std::string ok(127, '[');
+  ok += "1";
+  ok += std::string(127, ']');
+  EXPECT_NO_THROW(static_cast<void>(Json::parse(ok)));
+}
+
+TEST(Json, ParseRejectsTruncatedDocuments) {
+  // Every prefix of a valid document must fail loudly, never read out
+  // of bounds, and never parse as something else.
+  const std::string doc =
+      "{\"schema\":\"vpmem.run_report/1\",\"window\":{\"cycles\":10,"
+      "\"bandwidth\":0.8},\"bank_grants\":[4,0,4,0],\"ok\":true}";
+  ASSERT_NO_THROW(Json::parse(doc));
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW(Json::parse(doc.substr(0, len)), std::runtime_error) << "prefix length " << len;
+  }
+}
+
+TEST(Json, ParseRejectsControlCharactersAndBadEscapes) {
+  EXPECT_THROW(Json::parse(std::string{"\"a\x01b\""}), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"a\\q\""), std::runtime_error);   // unknown escape
+  EXPECT_THROW(Json::parse("\"\\u12\""), std::runtime_error);  // short \u escape
+  EXPECT_THROW(Json::parse("\"\\uZZZZ\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"trailing backslash\\"), std::runtime_error);
+}
+
+TEST(Json, ParseRejectsMalformedNumbers) {
+  EXPECT_THROW(Json::parse("01"), std::runtime_error);  // leading zero... or trailing garbage
+  EXPECT_THROW(Json::parse("1e"), std::runtime_error);
+  EXPECT_THROW(Json::parse("+1"), std::runtime_error);
+  EXPECT_THROW(Json::parse("0x10"), std::runtime_error);
+  EXPECT_THROW(Json::parse("--1"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1."), std::runtime_error);
+}
+
 TEST(Json, PrettyPrint) {
   Json j = Json::object();
   j["a"] = 1;

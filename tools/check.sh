@@ -4,7 +4,8 @@
 #   tools/check.sh          # full check: plain build + ctest, then ASan/UBSan
 #   tools/check.sh --fast   # plain build + ctest only
 #   tools/check.sh --fuzz   # full check, then an extended differential
-#                           # fuzz run (vpmem_cli fuzz, 20k cases)
+#                           # fuzz run (vpmem_cli fuzz, 20k cases) and a
+#                           # fault-plan differential leg (5k cases)
 #
 # The sanitizer pass rebuilds into build-asan/ with -fsanitize=address,undefined
 # (VPMEM_SANITIZE=ON) and reruns the sim + obs + check test binaries, which
@@ -52,17 +53,23 @@ echo "== sanitizer pass: ASan + UBSan on sim/obs/check tests =="
 cmake -B build-asan -S . -DVPMEM_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$jobs" --target \
   sim_config_test sim_memory_system_test sim_steady_state_test sim_run_test \
-  sim_pattern_test sim_event_buffer_test obs_metrics_test obs_collector_test \
+  sim_pattern_test sim_event_buffer_test sim_fault_test sim_checkpoint_test \
+  obs_metrics_test obs_collector_test \
   obs_report_test obs_timer_test obs_attribution_test obs_tracer_test \
-  check_reference_model_test check_differential_fuzz_test check_replay_test
+  check_reference_model_test check_differential_fuzz_test check_replay_test \
+  check_fault_plan_fuzz_test
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -R \
-  '^(sim_|obs_|check_reference_model|check_differential_fuzz|check_replay)'
+  '^(sim_|obs_|check_reference_model|check_differential_fuzz|check_replay|check_fault_plan_fuzz)'
 
 if [[ "$mode" == "--fuzz" ]]; then
   echo "== extended differential fuzz: 20k cases =="
   # A different seed than the ctest runs, so this pass explores new
   # configurations on every harness change; still deterministic.
   ./build/examples/vpmem_cli fuzz 20000 --seed 0x20250807
+  echo "== fault-plan differential fuzz: 5k cases =="
+  # Random timed fault plans (both degradation policies, all six event
+  # kinds): simulator and reference model must agree event-for-event.
+  ./build/examples/vpmem_cli fuzz 5000 --fault-plans --seed 0x20260807
 fi
 
 echo "== all checks passed =="
