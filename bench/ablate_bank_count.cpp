@@ -8,32 +8,58 @@ namespace {
 
 using namespace vpmem;
 
+/// One campaign point: the full stride/offset sweep for one bank count.
+Json sweep_bank_count(i64 m, i64 nc) {
+  const sim::MemoryConfig cfg{.banks = m, .sections = m, .bank_cycle = nc};
+  Rational worst_single{1};
+  for (i64 d = 1; d <= 8; ++d) {
+    worst_single = std::min(worst_single, analytic::single_stream_bandwidth(m, d, nc));
+  }
+  Rational worst_pair{2};
+  i64 full = 0;
+  i64 count = 0;
+  for (i64 d1 = 1; d1 <= 8; ++d1) {
+    for (i64 d2 = d1; d2 <= 8; ++d2) {
+      const auto sweep = sim::sweep_start_offsets(cfg, d1, d2);
+      worst_pair = std::min(worst_pair, sweep.min_bandwidth);
+      ++count;
+      if (sweep.min_bandwidth == Rational{2}) ++full;
+    }
+  }
+  Json out = Json::object();
+  out["m"] = m;
+  out["worst_single"] = worst_single.str();
+  out["worst_pair"] = worst_pair.str();
+  out["full"] = full;
+  out["count"] = count;
+  return out;
+}
+
 void print_figure() {
   const i64 nc = 4;
   Table table{{"m", "worst single-stream b_eff (d=1..8)", "worst pair b_eff (d1,d2 in 1..8)",
                "pairs at full b_eff"},
               "Ablation — bank count (nc = 4, offsets swept, two CPUs)"};
+  // Each bank count is one job of a shared campaign, so VPMEM_BENCH_JOBS
+  // parallelizes the figure and VPMEM_BENCH_JOURNAL makes it resumable.
+  std::vector<bench::BenchPoint> points;
   for (i64 m : {8, 12, 13, 16, 17, 24, 32}) {
-    const sim::MemoryConfig cfg{.banks = m, .sections = m, .bank_cycle = nc};
-    Rational worst_single{1};
-    for (i64 d = 1; d <= 8; ++d) {
-      worst_single =
-          std::min(worst_single, analytic::single_stream_bandwidth(m, d, nc));
+    points.push_back({"m=" + std::to_string(m), "ablate_bank_count nc=4 m=" + std::to_string(m),
+                      [m, nc] { return sweep_bank_count(m, nc); }});
+  }
+  const exec::CampaignSummary summary =
+      bench::run_bench_campaign("ablate_bank_count", std::move(points));
+  for (const auto& r : summary.results) {
+    if (r.status != exec::JobStatus::ok) {
+      std::cerr << "point " << r.id << " " << exec::to_string(r.status) << ": " << r.error
+                << '\n';
+      continue;
     }
-    Rational worst_pair{2};
-    i64 full = 0;
-    i64 count = 0;
-    for (i64 d1 = 1; d1 <= 8; ++d1) {
-      for (i64 d2 = d1; d2 <= 8; ++d2) {
-        const auto sweep = sim::sweep_start_offsets(cfg, d1, d2);
-        worst_pair = std::min(worst_pair, sweep.min_bandwidth);
-        ++count;
-        if (sweep.min_bandwidth == Rational{2}) ++full;
-      }
-    }
-    table.add_row({cell(static_cast<long long>(m)), worst_single.str(), worst_pair.str(),
-                   cell(static_cast<long long>(full)) + "/" +
-                       cell(static_cast<long long>(count))});
+    const Json& row = r.result;
+    table.add_row({cell(static_cast<long long>(row.at("m").as_int())),
+                   row.at("worst_single").as_string(), row.at("worst_pair").as_string(),
+                   cell(static_cast<long long>(row.at("full").as_int())) + "/" +
+                       cell(static_cast<long long>(row.at("count").as_int()))});
   }
   table.print(std::cout);
   std::cout << '\n';

@@ -9,6 +9,27 @@ namespace {
 
 using namespace vpmem;
 
+/// One campaign point: the full stagger sweep for one port count.
+Json sweep_port_count(const sim::MemoryConfig& cfg, i64 p) {
+  Rational best{0};
+  Rational worst{static_cast<i64>(p)};
+  i64 worst_conflicts = 0;
+  for (i64 stagger = 0; stagger < cfg.banks; ++stagger) {
+    const auto r = core::analyze_group(cfg, core::uniform_streams(p, 1, stagger, cfg.banks));
+    if (r.bandwidth > best) best = r.bandwidth;
+    if (r.bandwidth < worst) {
+      worst = r.bandwidth;
+      worst_conflicts = r.conflicts_in_period.total();
+    }
+  }
+  Json out = Json::object();
+  out["ports"] = p;
+  out["best"] = best.str();
+  out["worst"] = worst.str();
+  out["worst_conflicts"] = worst_conflicts;
+  return out;
+}
+
 void print_figure() {
   const i64 m = 16;
   const i64 nc = 4;
@@ -16,21 +37,26 @@ void print_figure() {
   Table table{{"ports", "bound min(p, m/nc)", "b_eff best stagger", "b_eff worst stagger",
                "conflicts/period (worst)"},
               "Ablation — port count (m=16, nc=4, stride-1 streams, one port per CPU)"};
+  std::vector<bench::BenchPoint> points;
   for (i64 p = 1; p <= 8; ++p) {
-    Rational best{0};
-    Rational worst{static_cast<i64>(p)};
-    i64 worst_conflicts = 0;
-    for (i64 stagger = 0; stagger < m; ++stagger) {
-      const auto r = core::analyze_group(cfg, core::uniform_streams(p, 1, stagger, m));
-      if (r.bandwidth > best) best = r.bandwidth;
-      if (r.bandwidth < worst) {
-        worst = r.bandwidth;
-        worst_conflicts = r.conflicts_in_period.total();
-      }
+    points.push_back({"p=" + std::to_string(p),
+                      "ablate_port_count m=16 nc=4 p=" + std::to_string(p),
+                      [cfg, p] { return sweep_port_count(cfg, p); }});
+  }
+  const exec::CampaignSummary summary =
+      bench::run_bench_campaign("ablate_port_count", std::move(points));
+  for (const auto& r : summary.results) {
+    if (r.status != exec::JobStatus::ok) {
+      std::cerr << "point " << r.id << " " << exec::to_string(r.status) << ": " << r.error
+                << '\n';
+      continue;
     }
+    const Json& row = r.result;
+    const i64 p = row.at("ports").as_int();
     table.add_row({cell(static_cast<long long>(p)),
-                   cell(baseline::service_bound(m, nc, p), 2), best.str(), worst.str(),
-                   cell(static_cast<long long>(worst_conflicts))});
+                   cell(baseline::service_bound(m, nc, p), 2), row.at("best").as_string(),
+                   row.at("worst").as_string(),
+                   cell(static_cast<long long>(row.at("worst_conflicts").as_int()))});
   }
   table.print(std::cout);
   std::cout << "\n(the bound m/nc = 4 is achieved exactly at p = 4 with nc-spaced starts;\n"

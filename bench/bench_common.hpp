@@ -6,9 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vpmem/vpmem.hpp"
@@ -50,6 +54,50 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
  private:
   Json runs_ = Json::array();
 };
+
+/// One point of a figure campaign: a stable id (also the config-hash
+/// preimage, unless `key` overrides it) and a closure producing the
+/// point's Json payload.
+struct BenchPoint {
+  std::string id;
+  std::string key;  ///< hash preimage override (defaults to id)
+  std::function<Json()> run;
+};
+
+/// Shared campaign driver for the figure benches: route a set of points
+/// through exec::run_campaign so long ablation sweeps get the same
+/// crash isolation and journaled resume as `vpmem_cli sweep`, without
+/// new per-binary flags.  The environment configures the executor:
+///
+///   VPMEM_BENCH_JOBS=N        worker threads (default 1, sequential)
+///   VPMEM_BENCH_JOURNAL=path  append attempts to this vpmem.journal/1
+///                             file and resume from whatever it already
+///                             settled (a fresh path = a fresh campaign)
+///
+/// Per-point payloads come back in summary.results, input order, so the
+/// printed figure is identical however the campaign was scheduled.
+inline exec::CampaignSummary run_bench_campaign(const std::string& campaign,
+                                                std::vector<BenchPoint> points) {
+  std::vector<exec::JobSpec> jobs;
+  jobs.reserve(points.size());
+  for (auto& p : points) {
+    exec::JobSpec job;
+    job.id = p.id;
+    job.hash = stable_hash(campaign + " " + (p.key.empty() ? p.id : p.key));
+    job.repro = campaign + " " + p.id;
+    job.run = std::move(p.run);
+    jobs.push_back(std::move(job));
+  }
+  exec::ExecutorOptions options;
+  if (const char* env = std::getenv("VPMEM_BENCH_JOBS")) {
+    options.jobs = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("VPMEM_BENCH_JOURNAL")) {
+    options.journal_path = env;
+    options.resume = true;  // an absent/empty journal is a fresh campaign
+  }
+  return exec::run_campaign(jobs, options);
+}
 
 /// Print the regenerated clock diagram and steady state of a two-stream
 /// experiment, with the paper's expected bandwidth alongside.

@@ -22,13 +22,30 @@
 //   vpmem_cli kernel <name> <n> <inc> [--dedicated]
 //       Run copy/scale/sum/daxpy/triad/gather/scatter on the X-MP model.
 //   vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]
-//            [--fault-plans] [--no-shrink] [--replay LINE]
+//            [--fault-plans] [--no-shrink] [--replay LINE] [--jobs N]
 //       Differential fuzzing: random configurations cross-checked against
 //       the naive reference model and the analytic theorems.  With
 //       --fault-plans every case also carries a randomized timed
 //       degradation plan (both sides must still agree event-for-event).
-//       Failures print one-line repros; --replay re-executes one.  Exits
-//       1 on any disagreement.
+//       Failures print one-line repros; --replay re-executes one.  With
+//       --jobs N cases are checked on N worker threads; the campaign is
+//       pre-sampled from the seed so the summary is byte-identical to the
+//       sequential run.  Exits 1 on any disagreement.
+//   vpmem_cli sweep <m> <nc> --d1 A:B --d2 A:B [--jobs N] [--journal f]
+//            [--resume] [--sandbox] [--retries N] [--out results.json]
+//            [--same-cpu] [--sections s] [--cyclic-priority]
+//            [--consecutive] [--test-crash ID]
+//       Campaign sweep over the (d1, d2) stride grid via the journaled
+//       executor (exec::run_campaign).  Every point is one job: steady-
+//       state b_eff, period, transient, conflicts — fully deterministic,
+//       so --out files from interrupted-then-resumed campaigns are byte-
+//       identical to uninterrupted ones.  --journal appends every attempt
+//       to an append-only vpmem.journal/1 file; --resume skips jobs the
+//       journal already settled (matched by config hash).  --sandbox
+//       fork-isolates each point so a crashing job is quarantined with a
+//       repro token instead of killing the campaign (--test-crash ID
+//       deliberately crashes that job to prove it).  Exits 8 when any
+//       job failed or was quarantined.
 //   vpmem_cli faults <m> <nc> <d1> [d2 [b1 b2]] (--plan file.json | --inline SPEC)
 //            [--policy stall|remap_spare] [--length n] [--cycles N]
 //            [--max-cycles N] [--same-cpu] [--sections s]
@@ -52,18 +69,29 @@
 // instead of a file); sweep-shaped subcommands log their perf telemetry
 // (simulated cycles/second, per-point latency) to stderr.
 //
+// The long-running subcommands (fuzz, sweep, faults) install SIGINT/
+// SIGTERM handlers: the first signal cancels cooperatively — the run
+// stops at the next case/job/poll boundary, flushes its journal and
+// still writes a valid --json envelope with "status": "interrupted" —
+// and the second restores the default disposition (hard kill).
+//
 // Exit codes: 0 success, 1 generic failure (including fuzz
 // disagreements), 2 usage, and for typed vpmem::Error conditions
 // 3 = config_invalid, 4 = fault_plan_invalid, 5 = deadline_exceeded,
 // 6 = livelock (the last two also report a guarded run that stopped
-// early).  With --json, errors still write a vpmem.cli/1 envelope whose
-// "error" member carries {code, message}.
+// early).  7 = interrupted by SIGINT/SIGTERM (partial results were
+// still flushed); 8 = sweep campaign degraded (some jobs failed or
+// were quarantined).  With --json, errors still write a vpmem.cli/1
+// envelope whose "error" member carries {code, message}.
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "vpmem/vpmem.hpp"
@@ -85,7 +113,11 @@ int usage() {
                "  vpmem_cli diagnose <m> <nc> <d1> <d2> [--same-cpu] [--sections s]\n"
                "  vpmem_cli kernel <name> <n> <inc> [--dedicated]\n"
                "  vpmem_cli fuzz [iterations] [--seed S] [--cycles T] [--fault name]\n"
-               "           [--fault-plans] [--no-shrink] [--replay LINE]\n"
+               "           [--fault-plans] [--no-shrink] [--replay LINE] [--jobs N]\n"
+               "  vpmem_cli sweep <m> <nc> --d1 A:B --d2 A:B [--jobs N] [--journal f]\n"
+               "           [--resume] [--sandbox] [--retries N] [--out results.json]\n"
+               "           [--same-cpu] [--sections s] [--cyclic-priority]\n"
+               "           [--consecutive] [--test-crash ID]\n"
                "  vpmem_cli faults <m> <nc> <d1> [d2 [b1 b2]]\n"
                "           (--plan file.json | --inline SPEC) [--policy stall|remap_spare]\n"
                "           [--length n] [--cycles N] [--max-cycles N] [--same-cpu]\n"
@@ -127,6 +159,16 @@ struct Args {
   std::string plan_inline;  // --inline: compact FaultPlan::parse() spec
   std::string policy;       // --policy: override the plan's policy
   i64 max_cycles = 0;       // --max-cycles: watchdog budget (0 = default)
+  // campaign execution (fuzz --jobs; sweep subcommand):
+  int jobs = 1;             // --jobs: worker threads
+  std::string journal;      // --journal: vpmem.journal/1 path
+  bool resume = false;      // --resume: skip jobs the journal settled
+  bool sandbox = false;     // --sandbox: fork-isolate every sweep job
+  i64 retries = 0;          // --retries: max attempts per job (0 = default)
+  std::string test_crash;   // --test-crash: job id to SIGSEGV on purpose
+  std::string d1_range;     // --d1: inclusive "A:B" stride range
+  std::string d2_range;     // --d2: inclusive "A:B" stride range
+  i64 throttle_ms = 0;      // --throttle-ms: pace each sweep job (tests)
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -188,6 +230,31 @@ bool parse(int argc, char** argv, Args& args) {
     } else if (a == "--max-cycles") {
       if (++i >= argc) return false;
       args.max_cycles = std::atoll(argv[i]);
+    } else if (a == "--jobs") {
+      if (++i >= argc) return false;
+      args.jobs = static_cast<int>(std::atoll(argv[i]));
+    } else if (a == "--journal") {
+      if (++i >= argc) return false;
+      args.journal = argv[i];
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (a == "--sandbox") {
+      args.sandbox = true;
+    } else if (a == "--retries") {
+      if (++i >= argc) return false;
+      args.retries = std::atoll(argv[i]);
+    } else if (a == "--test-crash") {
+      if (++i >= argc) return false;
+      args.test_crash = argv[i];
+    } else if (a == "--d1") {
+      if (++i >= argc) return false;
+      args.d1_range = argv[i];
+    } else if (a == "--d2") {
+      if (++i >= argc) return false;
+      args.d2_range = argv[i];
+    } else if (a == "--throttle-ms") {
+      if (++i >= argc) return false;
+      args.throttle_ms = std::atoll(argv[i]);
     } else if (!a.empty() && (std::isdigit(static_cast<unsigned char>(a[0])) != 0)) {
       args.positional.push_back(std::atoll(a.c_str()));
     } else if (!a.empty() && a[0] != '-' && args.word.empty()) {
@@ -556,6 +623,9 @@ int cmd_fuzz(const Args& args) {
   if (!args.fault.empty()) options.fault = check::fault_from_string(args.fault);
   options.fault_plans = args.fault_plans;
   options.shrink_failures = !args.no_shrink;
+  options.jobs = args.jobs;
+  exec::install_signal_handlers();
+  options.cancel = &exec::process_cancel_token();
 
   const check::FuzzSummary summary = check::fuzz(options);
   human(args) << "fuzz: " << summary.iterations << " cases, " << summary.checks_run
@@ -564,7 +634,12 @@ int cmd_fuzz(const Args& args) {
   if (options.fault != check::FaultKind::none) {
     human(args) << ", fault " << check::to_string(options.fault);
   }
+  if (options.jobs > 1) human(args) << ", jobs " << options.jobs;
   human(args) << ")\n";
+  if (summary.interrupted) {
+    human(args) << "interrupted after " << summary.iterations << " of "
+                << options.iterations << " cases; partial results follow\n";
+  }
   for (const auto& f : summary.failures) {
     human(args) << "FAIL iteration " << f.iteration << " [" << f.check << "] " << f.message
                 << "\n  replay:  " << f.repro << '\n';
@@ -578,13 +653,16 @@ int cmd_fuzz(const Args& args) {
   }
   if (!args.json_path.empty()) {
     Json doc = cli_envelope("fuzz");
+    doc["status"] = summary.interrupted ? "interrupted"
+                    : summary.failures.empty() ? "ok" : "failed";
     doc["summary"] = summary.to_json();
     Json reports = Json::array();
     for (const auto& f : summary.failures) reports.push_back(failure_report(f));
     doc["failure_reports"] = std::move(reports);
     if (!maybe_write_json(args, doc)) return 1;
   }
-  return summary.ok() ? 0 : 1;
+  if (summary.interrupted) return 7;
+  return summary.failures.empty() ? 0 : 1;
 }
 
 /// The `faults` plan source: --plan (vpmem.fault_plan/1 JSON file) or
@@ -675,6 +753,8 @@ int cmd_faults(const Args& args) {
   }
   sim::Watchdog watchdog;
   if (args.max_cycles > 0) watchdog.max_cycles = args.max_cycles;
+  exec::install_signal_handlers();
+  watchdog.cancel = exec::process_cancel_token().flag();
 
   const obs::RunReport report = obs::report_run_guarded(cfg, streams, plan, options, watchdog);
   const std::vector<FaultPhase> phases = fault_phases(cfg, streams, plan, report.cycles);
@@ -713,7 +793,193 @@ int cmd_faults(const Args& args) {
   }
   if (report.status == "deadline_exceeded") return 5;
   if (report.status == "livelock") return 6;
+  if (report.status == "interrupted") return 7;
   return 0;
+}
+
+/// Inclusive "A:B" stride range ("A" alone = the single value A).
+bool parse_range(const std::string& text, i64& lo, i64& hi) {
+  if (text.empty()) return false;
+  const std::size_t colon = text.find(':');
+  char* end = nullptr;
+  lo = std::strtoll(text.c_str(), &end, 10);
+  if (colon == std::string::npos) {
+    hi = lo;
+    return end == text.c_str() + text.size();
+  }
+  if (end != text.c_str() + colon) return false;
+  hi = std::strtoll(text.c_str() + colon + 1, &end, 10);
+  return end == text.c_str() + text.size() && lo <= hi;
+}
+
+/// The canonical config-hash preimage of one sweep point.  This string —
+/// not the hash — is the contract: every field that changes the result
+/// appears, in fixed order, so the same point hashes identically across
+/// runs, machines and resumes.
+std::string sweep_point_key(const sim::MemoryConfig& cfg, bool same_cpu, i64 d1, i64 d2) {
+  std::ostringstream key;
+  key << "vpmem.sweep/1 m=" << cfg.banks << " nc=" << cfg.bank_cycle << " s=" << cfg.sections
+      << " map=" << (cfg.mapping == sim::SectionMapping::consecutive ? "consecutive" : "cyclic")
+      << " pri=" << (cfg.priority == sim::PriorityRule::cyclic ? "cyclic" : "fixed")
+      << " same_cpu=" << (same_cpu ? 1 : 0) << " d1=" << d1 << " d2=" << d2;
+  return key.str();
+}
+
+/// Replay token for one sweep point: a complete single-point `sweep`
+/// invocation, recorded on crash/quarantine.
+std::string sweep_point_repro(const Args& args, i64 m, i64 nc, i64 d1, i64 d2) {
+  std::ostringstream r;
+  r << "sweep " << m << ' ' << nc << " --d1 " << d1 << ':' << d1 << " --d2 " << d2 << ':'
+    << d2;
+  if (args.same_cpu) r << " --same-cpu";
+  if (args.sections > 0) r << " --sections " << args.sections;
+  if (args.cyclic_priority) r << " --cyclic-priority";
+  if (args.consecutive) r << " --consecutive";
+  return r.str();
+}
+
+/// One sweep point: exact steady-state analysis of the (d1, d2) pair.
+/// Deliberately free of wall-clock data — the payload must be a pure
+/// function of the configuration so resumed campaigns reproduce the
+/// uninterrupted results byte for byte (timing lives in the journal and
+/// the campaign metrics instead).
+Json sweep_point(const sim::MemoryConfig& cfg, bool same_cpu, i64 d1, i64 d2, bool crash,
+                 i64 throttle_ms) {
+  if (crash) std::raise(SIGSEGV);  // --test-crash: prove sandbox isolation
+  if (throttle_ms > 0) {
+    // Pacing knob for the kill-and-resume tests: real points finish in
+    // microseconds, far too fast to SIGKILL a campaign mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+  }
+  const auto streams = sim::two_streams(0, d1, 0, d2, same_cpu);
+  const sim::SteadyState ss = sim::find_steady_state(cfg, streams);
+  Json out = Json::object();
+  out["d1"] = d1;
+  out["d2"] = d2;
+  out["b_eff"] = obs::json_of(ss.bandwidth);
+  out["transient_cycles"] = ss.transient_cycles;
+  out["period"] = ss.period;
+  Json grants = Json::array();
+  for (const i64 g : ss.grants_in_period) grants.push_back(g);
+  out["grants_in_period"] = std::move(grants);
+  out["conflicts_in_period"] = obs::json_of(ss.conflicts_in_period);
+  return out;
+}
+
+/// The deterministic results document (schema vpmem.sweep_results/1)
+/// written to --out: grid parameters plus one entry per point in input
+/// order.  Free-text error detail and all timing stay out of it so the
+/// kill-and-resume test can compare files byte for byte.
+Json sweep_results_doc(const Args& args, const sim::MemoryConfig& cfg,
+                       const exec::CampaignSummary& summary) {
+  Json doc = Json::object();
+  doc["schema"] = "vpmem.sweep_results/1";
+  doc["config"] = obs::json_of(cfg);
+  doc["same_cpu"] = args.same_cpu;
+  Json points = Json::array();
+  for (const auto& r : summary.results) {
+    Json p = Json::object();
+    p["id"] = r.id;
+    p["status"] = exec::to_string(r.status);
+    if (r.status == exec::JobStatus::ok) {
+      p["result"] = r.result;
+    } else {
+      p["error_code"] = r.error_code;
+      if (!r.repro.empty()) p["repro"] = r.repro;
+    }
+    points.push_back(std::move(p));
+  }
+  doc["points"] = std::move(points);
+  return doc;
+}
+
+int cmd_sweep(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  i64 d1_lo = 0, d1_hi = 0, d2_lo = 0, d2_hi = 0;
+  if (!parse_range(args.d1_range, d1_lo, d1_hi) || !parse_range(args.d2_range, d2_lo, d2_hi)) {
+    std::cerr << "sweep: --d1 and --d2 take an inclusive range A:B\n";
+    return usage();
+  }
+  if (args.resume && args.journal.empty()) {
+    std::cerr << "sweep: --resume needs --journal\n";
+    return usage();
+  }
+  const auto cfg = config_from(args, args.positional[0], args.positional[1]);
+  const i64 m = args.positional[0];
+  const i64 nc = args.positional[1];
+
+  std::vector<exec::JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>((d1_hi - d1_lo + 1) * (d2_hi - d2_lo + 1)));
+  for (i64 d1 = d1_lo; d1 <= d1_hi; ++d1) {
+    for (i64 d2 = d2_lo; d2 <= d2_hi; ++d2) {
+      exec::JobSpec job;
+      job.id = "d1=" + std::to_string(d1) + "/d2=" + std::to_string(d2);
+      job.hash = stable_hash(sweep_point_key(cfg, args.same_cpu, d1, d2));
+      job.repro = sweep_point_repro(args, m, nc, d1, d2);
+      const bool crash = job.id == args.test_crash;
+      const bool same_cpu = args.same_cpu;
+      const i64 throttle_ms = args.throttle_ms;
+      job.run = [cfg, same_cpu, d1, d2, crash, throttle_ms] {
+        return sweep_point(cfg, same_cpu, d1, d2, crash, throttle_ms);
+      };
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  exec::install_signal_handlers();
+  exec::ExecutorOptions options;
+  options.jobs = args.jobs;
+  options.sandbox = args.sandbox;
+  if (args.retries > 0) options.retry.max_attempts = static_cast<int>(args.retries);
+  options.journal_path = args.journal;
+  options.resume = args.resume;
+  options.cancel = &exec::process_cancel_token();
+
+  const exec::CampaignSummary summary = exec::run_campaign(jobs, options);
+
+  human(args) << "sweep: " << jobs.size() << " points (d1 " << d1_lo << ".." << d1_hi
+              << " x d2 " << d2_lo << ".." << d2_hi << ", m=" << m << " nc=" << nc << ")";
+  if (args.jobs > 1) human(args) << ", jobs " << args.jobs;
+  if (args.sandbox) human(args) << ", sandboxed";
+  human(args) << "\n  completed " << summary.completed << " (resumed " << summary.resumed
+              << "), failed " << summary.failed << ", quarantined " << summary.quarantined
+              << ", cancelled " << summary.cancelled << ", retries " << summary.retries
+              << "\n  status " << summary.status
+              << (summary.interrupted ? " (interrupted)" : "") << '\n';
+  for (const auto& r : summary.results) {
+    if (r.status != exec::JobStatus::failed && r.status != exec::JobStatus::quarantined) {
+      continue;
+    }
+    human(args) << "  " << exec::to_string(r.status) << ' ' << r.id << " [" << r.error_code
+                << "] " << r.error << "\n    repro: vpmem_cli " << r.repro << '\n';
+  }
+
+  if (!args.out.empty()) {
+    std::ofstream out{args.out};
+    if (!out) {
+      std::cerr << "error: cannot open '" << args.out << "' for writing\n";
+      return 1;
+    }
+    sweep_results_doc(args, cfg, summary).dump(out, 2);
+    out << '\n';
+  }
+  if (!args.json_path.empty()) {
+    Json doc = cli_envelope("sweep");
+    doc["status"] = summary.interrupted ? "interrupted" : summary.status;
+    doc["m"] = m;
+    doc["nc"] = nc;
+    Json grid = Json::object();
+    grid["d1_lo"] = d1_lo;
+    grid["d1_hi"] = d1_hi;
+    grid["d2_lo"] = d2_lo;
+    grid["d2_hi"] = d2_hi;
+    doc["grid"] = std::move(grid);
+    doc["campaign"] = summary.to_json();
+    if (!args.journal.empty()) doc["journal"] = args.journal;
+    if (!maybe_write_json(args, doc)) return 1;
+  }
+  if (summary.interrupted) return 7;
+  return summary.ok() ? 0 : 8;
 }
 
 int cmd_trace(const Args& args) {
@@ -838,6 +1104,7 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(args);
     if (cmd == "kernel") return cmd_kernel(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "faults") return cmd_faults(args);
     if (cmd == "trace") return cmd_trace(args);
   } catch (const vpmem::Error& e) {

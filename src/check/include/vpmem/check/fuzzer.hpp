@@ -13,6 +13,7 @@
 #include "vpmem/baseline/rng.hpp"
 #include "vpmem/check/invariants.hpp"
 #include "vpmem/check/reference_model.hpp"
+#include "vpmem/exec/pool.hpp"
 #include "vpmem/sim/config.hpp"
 #include "vpmem/util/json.hpp"
 
@@ -62,6 +63,14 @@ struct FuzzOptions {
   bool shrink_failures = true;
   std::size_t max_failures = 8;    ///< stop fuzzing after this many
   InvariantOptions invariants{};
+  /// Worker threads checking cases.  Sharding is order-independent: the
+  /// whole campaign is pre-sampled sequentially from `seed`, workers
+  /// check disjoint cases, and results fold back in iteration order — a
+  /// --jobs 8 run reports exactly the failures the sequential run finds.
+  int jobs = 1;
+  /// Cooperative cancellation (SIGINT): the loop stops at the next case
+  /// boundary and FuzzSummary::interrupted is set.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 struct FuzzFailure {
@@ -78,7 +87,8 @@ struct FuzzSummary {
   i64 events_compared = 0;   ///< simulator/reference events compared
   std::uint64_t seed = 0;
   std::vector<FuzzFailure> failures;
-  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  bool interrupted = false;  ///< stopped early on the caller's cancel token
+  [[nodiscard]] bool ok() const noexcept { return failures.empty() && !interrupted; }
   /// Schema "vpmem.fuzz_summary/1"; embedded verbatim by the CLI.
   [[nodiscard]] Json to_json() const;
 };

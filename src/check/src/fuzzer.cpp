@@ -139,12 +139,110 @@ CaseResult check_case(const FuzzCase& fuzz_case, const InvariantOptions& invaria
   return result;
 }
 
+namespace {
+
+/// Build the reported failure for one failing case (shrinking included).
+/// Pure function of the case and options, so sequential and sharded runs
+/// produce byte-identical reports.
+FuzzFailure build_failure(const FuzzCase& fuzz_case, const CaseResult& result, i64 iteration,
+                          const FuzzOptions& options) {
+  FuzzFailure failure;
+  failure.iteration = iteration;
+  failure.check = result.failures.front().check;
+  failure.message = result.failures.front().message;
+  failure.repro = encode_repro(fuzz_case);
+  if (options.shrink_failures) {
+    const std::string& check_name = failure.check;
+    const FuzzCase shrunk = shrink_case(fuzz_case, [&](const FuzzCase& candidate) {
+      const CaseResult r = check_case(candidate, options.invariants, options.run_invariants);
+      for (const auto& f : r.failures) {
+        if (f.check == check_name) return true;
+      }
+      return false;
+    });
+    failure.shrunk_repro = encode_repro(shrunk);
+  }
+  return failure;
+}
+
+bool cancelled(const FuzzOptions& options) {
+  return options.cancel != nullptr && options.cancel->cancelled();
+}
+
+/// Sharded fuzzing.  Shard-order independence by construction: cases are
+/// pre-sampled sequentially from the seed (sampling is a pure function
+/// of the PRNG stream), workers check disjoint cases, and outcomes fold
+/// back strictly in iteration order with the same early-stop rule as the
+/// sequential loop — so the summary's counters, failures and shrunk
+/// repros match the jobs=1 run exactly, at any worker count.
+FuzzSummary fuzz_sharded(const FuzzOptions& options) {
+  FuzzSummary summary;
+  summary.seed = options.seed;
+  SplitMix64 rng{options.seed};
+  std::vector<FuzzCase> cases;
+  cases.reserve(static_cast<std::size_t>(std::max<i64>(0, options.iterations)));
+  for (i64 i = 0; i < options.iterations; ++i) cases.push_back(sample_case(rng, options));
+
+  struct Slot {
+    CaseResult result;
+    FuzzFailure failure;
+    bool done = false;
+  };
+  // Chunked dispatch: big enough to keep every worker busy, small enough
+  // that the sequential early-stop (max_failures) doesn't run the whole
+  // campaign for nothing.
+  const i64 chunk = std::max<i64>(static_cast<i64>(options.jobs) * 8, 32);
+  for (i64 begin = 0; begin < options.iterations; begin += chunk) {
+    const i64 end = std::min(begin + chunk, options.iterations);
+    std::vector<Slot> slots(static_cast<std::size_t>(end - begin));
+    exec::parallel_for(
+        end - begin, options.jobs,
+        [&](i64 k, int /*worker*/) {
+          const i64 iteration = begin + k;
+          Slot& slot = slots[static_cast<std::size_t>(k)];
+          const FuzzCase& fuzz_case = cases[static_cast<std::size_t>(iteration)];
+          slot.result = check_case(fuzz_case, options.invariants, options.run_invariants);
+          if (!slot.result.ok()) {
+            slot.failure = build_failure(fuzz_case, slot.result, iteration, options);
+          }
+          slot.done = true;
+        },
+        options.cancel);
+    // Fold in iteration order, reproducing the sequential loop's tally
+    // and stopping rules exactly.
+    for (auto& slot : slots) {
+      if (!slot.done) {  // cancellation stopped dispatch mid-chunk
+        summary.interrupted = true;
+        return summary;
+      }
+      ++summary.iterations;
+      summary.checks_run += slot.result.checks_run;
+      summary.events_compared += slot.result.events_compared;
+      if (slot.result.ok()) continue;
+      summary.failures.push_back(std::move(slot.failure));
+      if (summary.failures.size() >= options.max_failures) return summary;
+    }
+    if (cancelled(options)) {
+      summary.interrupted = true;
+      return summary;
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
 FuzzSummary fuzz(const FuzzOptions& options) {
+  if (options.jobs > 1) return fuzz_sharded(options);
   FuzzSummary summary;
   summary.seed = options.seed;
   SplitMix64 rng{options.seed};
 
   for (i64 iteration = 0; iteration < options.iterations; ++iteration) {
+    if (cancelled(options)) {
+      summary.interrupted = true;
+      break;
+    }
     const FuzzCase fuzz_case = sample_case(rng, options);
     const CaseResult result = check_case(fuzz_case, options.invariants, options.run_invariants);
     ++summary.iterations;
@@ -152,25 +250,7 @@ FuzzSummary fuzz(const FuzzOptions& options) {
     summary.events_compared += result.events_compared;
     if (result.ok()) continue;
 
-    FuzzFailure failure;
-    failure.iteration = iteration;
-    failure.check = result.failures.front().check;
-    failure.message = result.failures.front().message;
-    failure.repro = encode_repro(fuzz_case);
-    if (options.shrink_failures) {
-      const std::string& check_name = failure.check;
-      const FuzzCase shrunk =
-          shrink_case(fuzz_case, [&](const FuzzCase& candidate) {
-            const CaseResult r = check_case(candidate, options.invariants,
-                                            options.run_invariants);
-            for (const auto& f : r.failures) {
-              if (f.check == check_name) return true;
-            }
-            return false;
-          });
-      failure.shrunk_repro = encode_repro(shrunk);
-    }
-    summary.failures.push_back(std::move(failure));
+    summary.failures.push_back(build_failure(fuzz_case, result, iteration, options));
     if (summary.failures.size() >= options.max_failures) break;
   }
   return summary;
@@ -184,6 +264,7 @@ Json FuzzSummary::to_json() const {
   doc["checks_run"] = checks_run;
   doc["events_compared"] = events_compared;
   doc["ok"] = ok();
+  doc["interrupted"] = interrupted;
   Json list = Json::array();
   for (const auto& f : failures) {
     Json entry = Json::object();

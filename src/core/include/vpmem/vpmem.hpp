@@ -12,6 +12,8 @@
 //   vpmem::baseline  random-reference traffic (the [1]-[5] baseline)
 //   vpmem::check     differential fuzzing: reference model, invariants,
 //                    config fuzzer, deterministic replay + shrinking
+//   vpmem::exec      campaign executor: worker pool, fork sandbox,
+//                    retry/backoff, journaled resume
 //   vpmem::core      facade: reports, advisor, groups, parallel sweeps
 #pragma once
 
@@ -35,6 +37,9 @@
 #include "vpmem/core/layout.hpp"
 #include "vpmem/core/sweep.hpp"
 #include "vpmem/core/triad_experiment.hpp"
+#include "vpmem/exec/executor.hpp"
+#include "vpmem/exec/pool.hpp"
+#include "vpmem/exec/sandbox.hpp"
 #include "vpmem/obs/attribution.hpp"
 #include "vpmem/obs/collector.hpp"
 #include "vpmem/obs/metrics.hpp"
@@ -51,8 +56,11 @@
 #include "vpmem/sim/run.hpp"
 #include "vpmem/sim/steady_state.hpp"
 #include "vpmem/trace/timeline.hpp"
+#include "vpmem/util/backoff.hpp"
 #include "vpmem/util/chart.hpp"
 #include "vpmem/util/error.hpp"
+#include "vpmem/util/hash.hpp"
+#include "vpmem/util/journal.hpp"
 #include "vpmem/util/json.hpp"
 #include "vpmem/util/numeric.hpp"
 #include "vpmem/util/rational.hpp"

@@ -1,0 +1,60 @@
+// Worker-pool primitives for campaign execution: a cooperative
+// cancellation token, process-wide SIGINT/SIGTERM capture, and a
+// TSan-clean parallel_for over a dense index range.
+//
+// The pool deliberately has no work stealing and no shared result
+// state: indices are claimed with one fetch_add and every writer owns a
+// distinct slot, so callers that write results[index] need no further
+// synchronization.  All cross-thread communication is the single atomic
+// cursor plus thread join — the shapes ThreadSanitizer proves clean.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "vpmem/util/numeric.hpp"
+
+namespace vpmem::exec {
+
+/// Cooperative cancellation flag, shareable with signal handlers (the
+/// store is lock-free) and with sim::Watchdog::cancel.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  /// The raw flag, for APIs that poll an atomic (sim::Watchdog).
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// The process-wide token the installed signal handlers trip.
+[[nodiscard]] CancelToken& process_cancel_token() noexcept;
+
+/// Route SIGINT/SIGTERM into process_cancel_token() (idempotent).  Long-
+/// running CLI subcommands call this so Ctrl-C drains gracefully — the
+/// campaign stops dispatching, flushes its journal and writes a valid
+/// partial JSON envelope instead of dying mid-write.  The *second*
+/// delivery of either signal restores the default disposition, so a
+/// wedged campaign can still be killed the ordinary way.
+void install_signal_handlers();
+
+/// True once a handled SIGINT/SIGTERM arrived.
+[[nodiscard]] bool interrupted() noexcept;
+
+/// Which signal arrived (0 if none) — for "interrupted by SIGTERM" detail.
+[[nodiscard]] int interrupt_signal() noexcept;
+
+/// Run `fn(index, worker)` for every index in [0, count) across `jobs`
+/// worker threads (jobs <= 1 runs inline on the caller).  Dispatch stops
+/// early when `cancel` trips; indices already claimed still finish.
+/// Returns the number of indices actually executed.  Exceptions escaping
+/// `fn` are a caller bug (the executor catches per-job errors itself)
+/// and terminate via std::terminate.
+i64 parallel_for(i64 count, int jobs, const std::function<void(i64 index, int worker)>& fn,
+                 const CancelToken* cancel = nullptr);
+
+}  // namespace vpmem::exec

@@ -1,0 +1,54 @@
+// Fork-based crash isolation for one campaign job (POSIX only).
+//
+// The job runs in a forked child; its Json result (or typed error) is
+// marshalled back through a pipe and the child exits without running the
+// parent's atexit machinery.  A child killed by SIGSEGV / SIGABRT / a
+// sanitizer abort therefore becomes a *structured* SandboxOutcome —
+// signal number plus rusage — instead of taking the whole campaign down.
+//
+// Forking from a worker thread relies on the platform's fork handlers
+// reinitializing the allocator locks in the child (glibc and the BSD
+// libcs do); sandbox_supported() reports false where that contract is
+// unavailable and the executor falls back to in-process execution.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "vpmem/util/json.hpp"
+
+namespace vpmem::exec {
+
+/// Structured outcome of one sandboxed job attempt.
+struct SandboxOutcome {
+  enum class Kind {
+    ok,           ///< child returned a result
+    error,        ///< child threw; code/message captured
+    crashed,      ///< child died on a signal (SIGSEGV, SIGABRT, ...)
+    unsupported,  ///< no fork on this platform; nothing ran
+  };
+
+  Kind kind = Kind::unsupported;
+  Json result;                ///< valid when kind == ok
+  std::string error_code;     ///< stable vpmem::ErrorCode name, or "error"
+  std::string error_message;  ///< what() from the child
+  int exit_code = 0;          ///< child exit status (kind ok/error)
+  int signal = 0;             ///< terminating signal (kind crashed)
+  long max_rss_kb = 0;        ///< child peak RSS from wait4 rusage
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return kind == Kind::ok; }
+  /// Human-readable signal name ("SIGSEGV"), empty unless crashed.
+  [[nodiscard]] std::string signal_name() const;
+};
+
+/// Whether run_sandboxed() actually isolates on this platform.
+[[nodiscard]] bool sandbox_supported() noexcept;
+
+/// Fork and run `job` in the child, capturing its result or death.
+/// On unsupported platforms returns kind == unsupported without running
+/// the job (the executor then runs it in-process instead).
+[[nodiscard]] SandboxOutcome run_sandboxed(const std::function<Json()>& job);
+
+}  // namespace vpmem::exec

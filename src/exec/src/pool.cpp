@@ -1,0 +1,65 @@
+#include "vpmem/exec/pool.hpp"
+
+#include <csignal>
+#include <thread>
+#include <vector>
+
+namespace vpmem::exec {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void vpmem_exec_signal_handler(int sig) {
+  // Async-signal-safe: two lock-free atomic stores, nothing else.
+  g_signal.store(sig, std::memory_order_relaxed);
+  process_cancel_token().cancel();
+  // A second Ctrl-C / TERM must still kill a wedged campaign.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+CancelToken& process_cancel_token() noexcept {
+  static CancelToken token;
+  return token;
+}
+
+void install_signal_handlers() {
+  // Force the token's (guarded) static initialization now: running it for
+  // the first time inside the handler would not be async-signal-safe.
+  (void)process_cancel_token();
+  std::signal(SIGINT, &vpmem_exec_signal_handler);
+  std::signal(SIGTERM, &vpmem_exec_signal_handler);
+}
+
+bool interrupted() noexcept { return g_signal.load(std::memory_order_relaxed) != 0; }
+
+int interrupt_signal() noexcept { return g_signal.load(std::memory_order_relaxed); }
+
+i64 parallel_for(i64 count, int jobs, const std::function<void(i64 index, int worker)>& fn,
+                 const CancelToken* cancel) {
+  if (count <= 0) return 0;
+  std::atomic<i64> cursor{0};
+  std::atomic<i64> executed{0};
+  const auto work = [&](int worker) {
+    while (cancel == nullptr || !cancel->cancelled()) {
+      const i64 index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      fn(index, worker);
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (jobs <= 1) {
+    work(0);
+    return executed.load(std::memory_order_relaxed);
+  }
+  const int workers = static_cast<int>(std::min<i64>(jobs, count));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(work, w);
+  for (auto& t : threads) t.join();
+  return executed.load(std::memory_order_relaxed);
+}
+
+}  // namespace vpmem::exec

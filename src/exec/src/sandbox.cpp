@@ -1,0 +1,172 @@
+#include "vpmem/exec/sandbox.hpp"
+
+#include "vpmem/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPMEM_EXEC_HAS_FORK 1
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VPMEM_EXEC_HAS_FORK 0
+#endif
+
+namespace vpmem::exec {
+
+std::string SandboxOutcome::signal_name() const {
+  if (kind != Kind::crashed) return {};
+#if VPMEM_EXEC_HAS_FORK
+  switch (signal) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    default: break;
+  }
+#endif
+  return "SIG" + std::to_string(signal);
+}
+
+bool sandbox_supported() noexcept { return VPMEM_EXEC_HAS_FORK != 0; }
+
+#if VPMEM_EXEC_HAS_FORK
+
+namespace {
+
+/// Child->parent wire format: a one-byte tag, then the payload.
+///   'R' <compact json>            — job result
+///   'E' <code> '\n' <message>     — typed / generic error
+constexpr char kTagResult = 'R';
+constexpr char kTagError = 'E';
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // parent vanished; nothing useful left to do
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return out;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+[[noreturn]] void child_main(int fd, const std::function<Json()>& job) {
+  // The child inherited the parent's signal routing; a Ctrl-C aimed at
+  // the campaign must not look like a per-job crash.
+  std::signal(SIGINT, SIG_IGN);
+  std::string payload;
+  int code = 0;
+  try {
+    payload = kTagResult + job().dump();
+  } catch (const vpmem::Error& e) {
+    payload = kTagError + to_string(e.code()) + '\n' + e.what();
+    code = 1;
+  } catch (const std::exception& e) {
+    payload = std::string{kTagError} + "error" + '\n' + e.what();
+    code = 1;
+  }
+  write_all(fd, payload.data(), payload.size());
+  ::close(fd);
+  // _exit, not exit: the parent's atexit handlers / stream flushes must
+  // not run twice.
+  ::_exit(code);
+}
+
+}  // namespace
+
+SandboxOutcome run_sandboxed(const std::function<Json()>& job) {
+  SandboxOutcome out;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    out.kind = SandboxOutcome::Kind::error;
+    out.error_code = "error";
+    out.error_message = std::string{"sandbox: pipe failed: "} + std::strerror(errno);
+    return out;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    out.kind = SandboxOutcome::Kind::error;
+    out.error_code = "error";
+    out.error_message = std::string{"sandbox: fork failed: "} + std::strerror(errno);
+    return out;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child_main(fds[1], job);  // never returns
+  }
+  ::close(fds[1]);
+  const std::string wire = read_all(fds[0]);
+  ::close(fds[0]);
+
+  int status = 0;
+  struct rusage usage {};
+  while (::wait4(pid, &status, 0, &usage) < 0) {
+    if (errno != EINTR) break;
+  }
+  out.max_rss_kb = usage.ru_maxrss;
+  out.user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                     static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+  out.system_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                       static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+
+  if (WIFSIGNALED(status)) {
+    out.kind = SandboxOutcome::Kind::crashed;
+    out.signal = WTERMSIG(status);
+    return out;
+  }
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (!wire.empty() && wire[0] == kTagResult) {
+    try {
+      out.result = Json::parse(wire.substr(1));
+      out.kind = SandboxOutcome::Kind::ok;
+      return out;
+    } catch (const std::exception& e) {
+      out.kind = SandboxOutcome::Kind::error;
+      out.error_code = "error";
+      out.error_message = std::string{"sandbox: torn result payload: "} + e.what();
+      return out;
+    }
+  }
+  if (!wire.empty() && wire[0] == kTagError) {
+    const std::size_t nl = wire.find('\n');
+    out.kind = SandboxOutcome::Kind::error;
+    out.error_code = nl == std::string::npos ? "error" : wire.substr(1, nl - 1);
+    out.error_message = nl == std::string::npos ? wire.substr(1) : wire.substr(nl + 1);
+    return out;
+  }
+  // No payload at all: the child died before writing (e.g. an abort with
+  // an unblockable exit path) or exited silently.
+  out.kind = SandboxOutcome::Kind::error;
+  out.error_code = "error";
+  out.error_message = "sandbox: child exited with status " + std::to_string(out.exit_code) +
+                      " without a result";
+  return out;
+}
+
+#else  // !VPMEM_EXEC_HAS_FORK
+
+SandboxOutcome run_sandboxed(const std::function<Json()>&) { return {}; }
+
+#endif
+
+}  // namespace vpmem::exec

@@ -72,6 +72,11 @@ class Histogram {
   /// are <= v, resolved to bucket upper bounds (0 when empty).
   [[nodiscard]] i64 quantile_ceil(double q) const;
 
+  /// Fold `other`'s samples into this histogram (bucket-wise; min/max/
+  /// sum/count combine exactly).  The basis of per-worker wall-time
+  /// aggregation in parallel campaigns.
+  void merge(const Histogram& other);
+
   /// {"count":N,"sum":S,"min":..,"max":..,"mean":..,
   ///  "buckets":[{"le":ceil,"count":n}, ...]} — empty buckets omitted.
   [[nodiscard]] Json to_json() const;
@@ -97,6 +102,14 @@ class MetricsRegistry {
 
   [[nodiscard]] bool contains(std::string_view name) const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Fold `other` into this registry: counters add, gauges take the
+  /// other's last value, histograms merge sample-exactly.  Used to
+  /// aggregate per-worker partial results after a parallel campaign —
+  /// workers each own a private registry (no locking on the hot path)
+  /// and the executor merges once at the end.  Throws
+  /// std::invalid_argument if a shared name has a different metric kind.
+  void merge(const MetricsRegistry& other);
 
   /// One object member per metric, in registration order.
   [[nodiscard]] Json to_json() const;

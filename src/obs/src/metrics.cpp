@@ -36,6 +36,16 @@ i64 Histogram::bucket_ceil(std::size_t b) noexcept {
   return b == 0 ? 0 : static_cast<i64>((std::uint64_t{1} << b) - 1);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 i64 Histogram::quantile_ceil(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
@@ -92,6 +102,18 @@ bool MetricsRegistry::contains(std::string_view name) const noexcept {
     if (key == name) return true;
   }
   return false;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, metric] : other.entries_) {
+    if (const Counter* c = std::get_if<Counter>(metric.get())) {
+      counter(key).inc(c->value());
+    } else if (const Gauge* g = std::get_if<Gauge>(metric.get())) {
+      gauge(key).set(g->value());
+    } else if (const Histogram* h = std::get_if<Histogram>(metric.get())) {
+      histogram(key).merge(*h);
+    }
+  }
 }
 
 Json MetricsRegistry::to_json() const {

@@ -5,6 +5,7 @@
 // e.g. a stream pinned on an offline bank under FaultPolicy::stall).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,8 @@ enum class RunStatus {
   completed,          ///< workload finished (or the requested window closed)
   deadline_exceeded,  ///< the cycle budget ran out first
   livelock,           ///< no grant for the livelock window while requests pend
+  interrupted,        ///< the caller's cancel flag tripped (SIGINT, campaign
+                      ///< shutdown); counters cover the cycles observed so far
 };
 
 [[nodiscard]] std::string to_string(RunStatus status);
@@ -72,6 +75,20 @@ struct Watchdog {
   /// within nc * m periods of a request, so k adds slack for fault
   /// recovery without masking true livelock.  <= 0 disables detection.
   i64 livelock_factor = 4;
+  /// Optional cooperative cancellation: when non-null, guarded runs poll
+  /// this flag (every kCancelPollCycles periods) and stop with status
+  /// RunStatus::interrupted once it is set.  Wired to the process-wide
+  /// SIGINT/SIGTERM token by long-running CLI subcommands and to the
+  /// campaign executor's shutdown path, so a guarded run is re-entrant
+  /// *and* abandonable without killing its thread.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// How often (in simulated periods) the cancel flag is polled.
+  static constexpr i64 kCancelPollCycles = 512;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
 
   /// The livelock window in clock periods for `config`.
   [[nodiscard]] i64 livelock_window(const MemoryConfig& config) const noexcept {

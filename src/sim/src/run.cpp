@@ -68,6 +68,7 @@ std::string to_string(RunStatus status) {
     case RunStatus::completed: return "completed";
     case RunStatus::deadline_exceeded: return "deadline_exceeded";
     case RunStatus::livelock: return "livelock";
+    case RunStatus::interrupted: return "interrupted";
   }
   return "?";
 }
@@ -86,6 +87,11 @@ GuardedRun run_guarded_on(MemorySystem& mem, const Watchdog& watchdog, i64 horiz
       out.status = RunStatus::deadline_exceeded;
       out.detail = "cycle budget of " + std::to_string(watchdog.max_cycles) +
                    " exhausted before completion";
+      break;
+    }
+    if (mem.now() % Watchdog::kCancelPollCycles == 0 && watchdog.cancelled()) {
+      out.status = RunStatus::interrupted;
+      out.detail = "cancelled by caller at cycle " + std::to_string(mem.now());
       break;
     }
     mem.step();
@@ -144,6 +150,11 @@ BandwidthMeasurement measure_bandwidth_guarded(const MemoryConfig& config,
       out.status = RunStatus::deadline_exceeded;
       out.detail = "cycle budget of " + std::to_string(watchdog.max_cycles) +
                    " exhausted before the window closed";
+      break;
+    }
+    if (mem.now() % Watchdog::kCancelPollCycles == 0 && watchdog.cancelled()) {
+      out.status = RunStatus::interrupted;
+      out.detail = "cancelled by caller at cycle " + std::to_string(mem.now());
       break;
     }
     if (mem.now() == warmup) before = total;

@@ -1,0 +1,36 @@
+// Retry-with-exponential-backoff policy for the campaign executor.
+//
+// Delays are *deterministically* jittered: the jitter factor is a pure
+// function of (seed, attempt), so a replayed campaign schedules retries
+// identically while distinct jobs still decorrelate (each passes its own
+// config-hash-derived seed).  Nothing here sleeps — callers decide how to
+// wait — so the policy is directly unit-testable.
+#pragma once
+
+#include <cstdint>
+
+namespace vpmem {
+
+/// Exponential backoff with bounded attempts and multiplicative jitter.
+struct BackoffPolicy {
+  /// Total attempts for a transiently-failing job, including the first.
+  int max_attempts = 3;
+  /// Delay before the second attempt (milliseconds).
+  double base_ms = 25.0;
+  /// Growth factor per further attempt.
+  double multiplier = 2.0;
+  /// Ceiling applied before jitter.
+  double cap_ms = 2000.0;
+  /// Jitter fraction in [0, 1): the delay is scaled by a deterministic
+  /// factor drawn uniformly from [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+
+  /// Delay in milliseconds before `attempt` (>= 2; attempt 1 never
+  /// waits).  Deterministic in (seed, attempt).
+  [[nodiscard]] double delay_ms(int attempt, std::uint64_t seed) const noexcept;
+
+  /// True if `attempt` (1-based) may still be retried afterwards.
+  [[nodiscard]] bool retryable(int attempt) const noexcept { return attempt < max_attempts; }
+};
+
+}  // namespace vpmem

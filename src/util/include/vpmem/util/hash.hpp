@@ -1,0 +1,34 @@
+// Stable content hashing for campaign job identity.
+//
+// The executor journals every job under a hash of its *configuration*
+// (not its PRNG seed or its position in the grid) so a resumed campaign
+// recognizes completed work even after the surrounding sweep is
+// reordered or extended.  FNV-1a over a canonical string encoding is
+// used deliberately: the value is part of the vpmem.journal/1 contract,
+// so it must be identical across platforms, compilers and processes —
+// std::hash guarantees none of that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vpmem {
+
+/// 64-bit FNV-1a over `bytes`.  Stable across platforms and runs.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// `value` as 16 lowercase hex digits (zero-padded, no prefix).
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+/// Canonical journal-key form: hex64(fnv1a64(bytes)).
+[[nodiscard]] std::string stable_hash(std::string_view bytes);
+
+}  // namespace vpmem

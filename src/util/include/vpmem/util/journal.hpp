@@ -1,0 +1,75 @@
+// Append-only campaign journal (schema "vpmem.journal/1").
+//
+// Every job attempt a campaign executor makes lands as one JSONL line —
+// job id, config hash, attempt number, status, and the result payload on
+// success — flushed immediately so a crashed or killed campaign leaves a
+// complete trail up to the instant it died.  Resume reads the journal
+// back, keeps the *final* record per config hash, and skips work that
+// already completed.  A torn final line (the writer died mid-write) is
+// tolerated and reported, never fatal; corruption anywhere else is an
+// error, because it means something other than a crash edited the file.
+#pragma once
+
+#include <mutex>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vpmem/util/json.hpp"
+
+namespace vpmem {
+
+/// Current value of the "schema" member of every journal line.
+inline constexpr const char* kJournalSchema = "vpmem.journal/1";
+
+/// One journal line: the outcome of one attempt at one job.
+struct JournalRecord {
+  std::string job;     ///< stable job id within the campaign
+  std::string hash;    ///< config hash (resume key, see stable_hash())
+  int attempt = 1;     ///< 1-based attempt number
+  /// "ok" | "retry" | "failed" | "crashed" | "quarantined".
+  std::string status;
+  std::string error;   ///< stable error code / signal name (empty when ok)
+  std::string repro;   ///< one-line repro token (crashes and quarantines)
+  int worker = -1;     ///< worker index that ran the attempt (-1 unknown)
+  double wall_ms = 0.0;
+  Json result;         ///< job result payload (null unless status == "ok")
+
+  [[nodiscard]] Json to_json() const;
+  /// Throws std::runtime_error on schema mismatch or missing members.
+  [[nodiscard]] static JournalRecord from_json(const Json& json);
+};
+
+/// Thread-safe append-only writer: one compact JSON line per record,
+/// flushed per append.  Opens in append mode so resumed campaigns extend
+/// the existing trail.  Throws std::runtime_error if the file cannot be
+/// opened.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::string& path);
+
+  void append(const JournalRecord& record);
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Everything read back from a journal file.
+struct JournalScan {
+  std::vector<JournalRecord> records;  ///< in file (append) order
+  bool truncated_tail = false;  ///< final line was torn and dropped
+
+  /// Final record per config hash, file order preserved.  This is the
+  /// resume view: "ok" and "quarantined" entries are settled jobs.
+  [[nodiscard]] std::vector<JournalRecord> latest_per_hash() const;
+};
+
+/// Parse `path`.  A missing file yields an empty scan (a campaign that
+/// never started is resumable); a torn final line is dropped and flagged;
+/// malformed content elsewhere throws std::runtime_error.
+[[nodiscard]] JournalScan read_journal(const std::string& path);
+
+}  // namespace vpmem

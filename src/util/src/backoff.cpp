@@ -1,0 +1,34 @@
+#include "vpmem/util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpmem {
+
+namespace {
+
+// SplitMix64 finalizer (util cannot depend on vpmem::baseline): a single
+// mixing round is plenty for one jitter draw per (seed, attempt).
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double BackoffPolicy::delay_ms(int attempt, std::uint64_t seed) const noexcept {
+  if (attempt <= 1 || base_ms <= 0.0) return 0.0;
+  const double exponent = static_cast<double>(attempt - 2);
+  const double raw = std::min(cap_ms, base_ms * std::pow(std::max(1.0, multiplier), exponent));
+  const double j = std::clamp(jitter, 0.0, 0.999);
+  if (j == 0.0) return raw;
+  constexpr std::uint64_t kStep = 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t draw = mix(seed ^ (kStep * static_cast<std::uint64_t>(attempt)));
+  // Uniform in [1 - j, 1 + j] from the top 53 bits of the draw.
+  const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return raw * (1.0 - j + 2.0 * j * unit);
+}
+
+}  // namespace vpmem

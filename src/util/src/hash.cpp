@@ -1,0 +1,17 @@
+#include "vpmem/util/hash.hpp"
+
+namespace vpmem {
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string stable_hash(std::string_view bytes) { return hex64(fnv1a64(bytes)); }
+
+}  // namespace vpmem

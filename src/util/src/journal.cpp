@@ -1,0 +1,136 @@
+#include "vpmem/util/journal.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vpmem {
+
+namespace {
+
+/// Offset just past the last '\n' in the file (0 if none), scanning
+/// backward in chunks so healing stays cheap on large journals.
+std::uintmax_t last_complete_line_end(std::ifstream& in, std::uintmax_t size) {
+  constexpr std::uintmax_t kChunk = 4096;
+  std::string buf;
+  std::uintmax_t end = size;
+  while (end > 0) {
+    const std::uintmax_t begin = end > kChunk ? end - kChunk : 0;
+    buf.resize(static_cast<std::size_t>(end - begin));
+    in.seekg(static_cast<std::streamoff>(begin));
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    for (std::size_t i = buf.size(); i-- > 0;) {
+      if (buf[i] == '\n') return begin + i + 1;
+    }
+    end = begin;
+  }
+  return 0;
+}
+
+/// Drop a crash-torn trailing partial line before appending.  The reader
+/// tolerates a torn tail, but *appending after one* would weld the next
+/// record onto the fragment and corrupt the journal mid-stream — which
+/// the reader rightly treats as fatal.
+void heal_torn_tail(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.get(last);
+  if (last == '\n') return;
+  std::filesystem::resize_file(path, last_complete_line_end(in, size), ec);
+}
+
+}  // namespace
+
+Json JournalRecord::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = kJournalSchema;
+  doc["job"] = job;
+  doc["hash"] = hash;
+  doc["attempt"] = attempt;
+  doc["status"] = status;
+  if (!error.empty()) doc["error"] = error;
+  if (!repro.empty()) doc["repro"] = repro;
+  doc["worker"] = worker;
+  doc["wall_ms"] = wall_ms;
+  if (!result.is_null()) doc["result"] = result;
+  return doc;
+}
+
+JournalRecord JournalRecord::from_json(const Json& json) {
+  if (!json.is_object() || !json.contains("schema") ||
+      json.at("schema").as_string() != kJournalSchema) {
+    throw std::runtime_error{"journal record: missing or unknown schema"};
+  }
+  JournalRecord r;
+  r.job = json.at("job").as_string();
+  r.hash = json.at("hash").as_string();
+  r.attempt = static_cast<int>(json.at("attempt").as_int());
+  r.status = json.at("status").as_string();
+  if (json.contains("error")) r.error = json.at("error").as_string();
+  if (json.contains("repro")) r.repro = json.at("repro").as_string();
+  if (json.contains("worker")) r.worker = static_cast<int>(json.at("worker").as_int());
+  if (json.contains("wall_ms")) r.wall_ms = json.at("wall_ms").as_double();
+  if (json.contains("result")) r.result = json.at("result");
+  return r;
+}
+
+JournalWriter::JournalWriter(const std::string& path) : path_{path} {
+  heal_torn_tail(path);
+  out_.open(path, std::ios::app);
+  if (!out_) throw std::runtime_error{"journal: cannot open '" + path + "' for appending"};
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  const std::string line = record.to_json().dump();
+  const std::lock_guard<std::mutex> lock{mutex_};
+  out_ << line << '\n';
+  out_.flush();
+}
+
+std::vector<JournalRecord> JournalScan::latest_per_hash() const {
+  std::vector<JournalRecord> out;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const auto& r : records) {
+    const auto it = index.find(r.hash);
+    if (it == index.end()) {
+      index.emplace(r.hash, out.size());
+      out.push_back(r);
+    } else {
+      out[it->second] = r;
+    }
+  }
+  return out;
+}
+
+JournalScan read_journal(const std::string& path) {
+  JournalScan scan;
+  std::ifstream in{path};
+  if (!in) return scan;  // no journal yet: nothing to resume
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      scan.records.push_back(JournalRecord::from_json(Json::parse(lines[i])));
+    } catch (const std::exception& e) {
+      if (i + 1 == lines.size()) {
+        // The writer died mid-line; everything before it is intact.
+        scan.truncated_tail = true;
+        break;
+      }
+      throw std::runtime_error{"journal '" + path + "' line " + std::to_string(i + 1) +
+                               ": " + e.what()};
+    }
+  }
+  return scan;
+}
+
+}  // namespace vpmem

@@ -1,0 +1,56 @@
+// Sharded fuzzing must be a pure function of the seed, independent of
+// the worker count: a --jobs 8 campaign reports byte-for-byte the same
+// summary as the sequential run.  Exercised both on a healthy run (no
+// failures, counters only) and under reference-model fault injection
+// with shrinking and the max_failures early stop — the paths where
+// shard order could most plausibly leak into the output.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vpmem/check/fuzzer.hpp"
+
+namespace vpmem {
+namespace {
+
+check::FuzzSummary run_fuzz(int jobs, check::FaultKind fault, i64 iterations) {
+  check::FuzzOptions options;
+  options.seed = 0xfeed5eed;
+  options.iterations = iterations;
+  options.jobs = jobs;
+  options.fault = fault;
+  return check::fuzz(options);
+}
+
+std::string dump(const check::FuzzSummary& summary) { return summary.to_json().dump(2); }
+
+TEST(FuzzJobs, HealthyRunIsIdenticalAcrossWorkerCounts) {
+  const check::FuzzSummary sequential = run_fuzz(1, check::FaultKind::none, 96);
+  ASSERT_TRUE(sequential.ok()) << dump(sequential);
+  EXPECT_EQ(sequential.iterations, 96);
+
+  for (int jobs : {2, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const check::FuzzSummary sharded = run_fuzz(jobs, check::FaultKind::none, 96);
+    EXPECT_EQ(dump(sequential), dump(sharded));
+  }
+}
+
+TEST(FuzzJobs, FaultInjectionFindsTheSameFailuresAcrossWorkerCounts) {
+  // short-bank-busy is a high-hit-rate mutation: the sequential run trips
+  // max_failures (8) well before the iteration budget, so this also pins
+  // down the early-stop boundary under sharding.
+  const check::FuzzSummary sequential =
+      run_fuzz(1, check::FaultKind::short_bank_busy, 400);
+  ASSERT_FALSE(sequential.failures.empty()) << "fault injection found nothing";
+  for (const auto& f : sequential.failures) {
+    EXPECT_FALSE(f.repro.empty());
+    EXPECT_FALSE(f.shrunk_repro.empty());  // shrinking ran and is deterministic
+  }
+
+  const check::FuzzSummary sharded = run_fuzz(8, check::FaultKind::short_bank_busy, 400);
+  EXPECT_EQ(dump(sequential), dump(sharded));
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,147 @@
+// Kill-and-resume: a journaled campaign stopped mid-flight must, once
+// resumed, end with results field-for-field identical to a run that was
+// never interrupted.  The "kill" is simulated by truncating the journal
+// to a prefix (plus a torn half-line) — exactly the file a SIGKILLed
+// writer leaves behind, since every record is flushed whole before the
+// next is begun.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vpmem/exec/executor.hpp"
+#include "vpmem/util/error.hpp"
+#include "vpmem/util/hash.hpp"
+#include "vpmem/util/journal.hpp"
+
+namespace vpmem {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_{(std::filesystem::temp_directory_path() /
+               ("vpmem_resume_test_" + name + "_" + std::to_string(::getpid()) + ".jsonl"))
+                  .string()} {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Deterministic job payload: a pure function of the job index.
+std::vector<exec::JobSpec> campaign_jobs(i64 count) {
+  std::vector<exec::JobSpec> jobs;
+  for (i64 i = 0; i < count; ++i) {
+    exec::JobSpec job;
+    job.id = "point-" + std::to_string(i);
+    job.hash = stable_hash("resume_test point=" + std::to_string(i));
+    job.run = [i] {
+      Json doc = Json::object();
+      doc["index"] = i;
+      doc["square"] = i * i;
+      doc["parity"] = i % 2 == 0 ? "even" : "odd";
+      return doc;
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Copy the first `lines` journal lines to `dst`, then append a torn
+/// half-line as a crashed writer would.
+void truncate_journal(const std::string& src, const std::string& dst, std::size_t lines) {
+  std::ifstream in{src};
+  std::ofstream out{dst};
+  std::string line;
+  std::size_t n = 0;
+  while (n < lines && std::getline(in, line)) {
+    out << line << '\n';
+    ++n;
+  }
+  out << R"({"schema":"vpmem.journal/1","job":"torn","ha)";  // died mid-write
+}
+
+void expect_identical(const exec::CampaignSummary& a, const exec::CampaignSummary& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    SCOPED_TRACE("job " + a.results[i].id);
+    EXPECT_EQ(a.results[i].id, b.results[i].id);
+    EXPECT_EQ(a.results[i].hash, b.results[i].hash);
+    EXPECT_EQ(a.results[i].status, b.results[i].status);
+    EXPECT_EQ(a.results[i].error_code, b.results[i].error_code);
+    EXPECT_EQ(a.results[i].result, b.results[i].result);
+    EXPECT_EQ(a.results[i].result.dump(), b.results[i].result.dump());  // byte-level
+  }
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.status, b.status);
+}
+
+TEST(Resume, KilledCampaignResumesToIdenticalResults) {
+  constexpr i64 kJobs = 24;
+  TempFile full{"full"};
+  TempFile killed{"killed"};
+
+  // The uninterrupted reference run.
+  exec::ExecutorOptions options;
+  options.jobs = 3;
+  options.sleep_on_backoff = false;
+  options.journal_path = full.path();
+  const exec::CampaignSummary reference = exec::run_campaign(campaign_jobs(kJobs), options);
+  ASSERT_EQ(reference.completed, kJobs);
+
+  // "Kill" it at ~half the journal and resume from the remains.
+  truncate_journal(full.path(), killed.path(), kJobs / 2);
+  options.journal_path = killed.path();
+  options.resume = true;
+  const exec::CampaignSummary resumed = exec::run_campaign(campaign_jobs(kJobs), options);
+
+  EXPECT_EQ(resumed.resumed, kJobs / 2);
+  EXPECT_EQ(resumed.completed, kJobs);
+  expect_identical(reference, resumed);
+
+  // The merged journal now settles every job; a third run re-runs nothing.
+  const exec::CampaignSummary settled = exec::run_campaign(campaign_jobs(kJobs), options);
+  EXPECT_EQ(settled.resumed, kJobs);
+  expect_identical(reference, settled);
+}
+
+TEST(Resume, QuarantinedJobsStaySettledAcrossResume) {
+  TempFile journal{"quarantine"};
+  auto jobs = campaign_jobs(4);
+  exec::JobSpec bad;
+  bad.id = "bad";
+  bad.hash = stable_hash("resume_test bad");
+  bad.repro = "replay bad";
+  bad.run = []() -> Json { throw Error{ErrorCode::config_invalid, "always broken"}; };
+  jobs.push_back(std::move(bad));
+
+  exec::ExecutorOptions options;
+  options.sleep_on_backoff = false;
+  options.journal_path = journal.path();
+  const exec::CampaignSummary first = exec::run_campaign(jobs, options);
+  EXPECT_EQ(first.quarantined, 1);
+  EXPECT_EQ(first.status, "degraded");
+
+  options.resume = true;
+  const exec::CampaignSummary second = exec::run_campaign(jobs, options);
+  EXPECT_EQ(second.resumed, 5);  // the quarantine verdict is settled too
+  EXPECT_EQ(second.quarantined, 1);
+  EXPECT_EQ(second.status, "degraded");
+  EXPECT_EQ(second.results[4].status, exec::JobStatus::quarantined);
+  EXPECT_EQ(second.results[4].repro, "replay bad");
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace vpmem

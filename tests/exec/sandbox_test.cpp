@@ -1,0 +1,105 @@
+// Fork-based crash isolation: results marshal back through the pipe,
+// typed errors keep their codes, and a child death by signal becomes a
+// structured outcome instead of killing the test binary.  This file
+// forks, so it is excluded from the ThreadSanitizer pass (fork + TSan's
+// interceptors do not mix); the executor and pool get their TSan
+// coverage from executor_test.cpp.
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "vpmem/exec/executor.hpp"
+#include "vpmem/exec/sandbox.hpp"
+#include "vpmem/util/error.hpp"
+#include "vpmem/util/hash.hpp"
+
+namespace vpmem {
+namespace {
+
+TEST(Sandbox, SupportedOnThisPlatform) {
+  // The whole suite runs on POSIX; if this ever fails the executor is
+  // silently running campaigns without crash isolation.
+  EXPECT_TRUE(exec::sandbox_supported());
+}
+
+TEST(Sandbox, ResultRoundTripsThroughThePipe) {
+  const exec::SandboxOutcome outcome = exec::run_sandboxed([] {
+    Json doc = Json::object();
+    doc["text"] = "with \"quotes\" and \n newlines";
+    doc["number"] = 123456789;
+    doc["nested"] = Json::array();
+    return doc;
+  });
+  ASSERT_EQ(outcome.kind, exec::SandboxOutcome::Kind::ok);
+  EXPECT_EQ(outcome.result.at("text").as_string(), "with \"quotes\" and \n newlines");
+  EXPECT_EQ(outcome.result.at("number").as_int(), 123456789);
+}
+
+TEST(Sandbox, TypedErrorKeepsItsCode) {
+  const exec::SandboxOutcome outcome = exec::run_sandboxed(
+      []() -> Json { throw Error{ErrorCode::deadline_exceeded, "over budget"}; });
+  ASSERT_EQ(outcome.kind, exec::SandboxOutcome::Kind::error);
+  EXPECT_EQ(outcome.error_code, "deadline_exceeded");
+  EXPECT_EQ(outcome.error_message, "over budget");
+}
+
+TEST(Sandbox, SegfaultBecomesAStructuredCrash) {
+  const exec::SandboxOutcome outcome = exec::run_sandboxed([]() -> Json {
+    std::raise(SIGSEGV);
+    return Json{nullptr};
+  });
+  ASSERT_EQ(outcome.kind, exec::SandboxOutcome::Kind::crashed);
+  EXPECT_EQ(outcome.signal, SIGSEGV);
+  EXPECT_EQ(outcome.signal_name(), "SIGSEGV");
+}
+
+TEST(Sandbox, AbortBecomesAStructuredCrash) {
+  const exec::SandboxOutcome outcome = exec::run_sandboxed([]() -> Json {
+    std::raise(SIGABRT);
+    return Json{nullptr};
+  });
+  ASSERT_EQ(outcome.kind, exec::SandboxOutcome::Kind::crashed);
+  EXPECT_EQ(outcome.signal, SIGABRT);
+}
+
+TEST(Sandbox, ExecutorQuarantinesACrashingJobWhileOthersComplete) {
+  std::vector<exec::JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    exec::JobSpec job;
+    job.id = "ok-" + std::to_string(i);
+    job.hash = stable_hash("sandbox_test ok " + std::to_string(i));
+    job.run = [i] {
+      Json doc = Json::object();
+      doc["i"] = i;
+      return doc;
+    };
+    jobs.push_back(std::move(job));
+  }
+  exec::JobSpec crasher;
+  crasher.id = "crasher";
+  crasher.hash = stable_hash("sandbox_test crasher");
+  crasher.repro = "replay crasher";
+  crasher.run = []() -> Json {
+    std::raise(SIGSEGV);
+    return Json{nullptr};
+  };
+  jobs.insert(jobs.begin() + 3, std::move(crasher));
+
+  exec::ExecutorOptions options;
+  options.jobs = 4;
+  options.sandbox = true;
+  options.sleep_on_backoff = false;
+  const exec::CampaignSummary summary = exec::run_campaign(jobs, options);
+  EXPECT_EQ(summary.completed, 8);
+  EXPECT_EQ(summary.quarantined, 1);
+  EXPECT_EQ(summary.status, "degraded");
+  const auto& r = summary.results[3];
+  EXPECT_EQ(r.status, exec::JobStatus::quarantined);
+  EXPECT_EQ(r.error_code, "SIGSEGV");
+  EXPECT_EQ(r.signal, SIGSEGV);
+  EXPECT_EQ(r.repro, "replay crasher");
+  EXPECT_EQ(r.attempts, 2);  // crash + one confirmation retry
+}
+
+}  // namespace
+}  // namespace vpmem

@@ -1,0 +1,74 @@
+// BackoffPolicy: deterministic jittered exponential delays.  The policy
+// never sleeps itself, so everything here is pure arithmetic on
+// (seed, attempt) — the properties the executor's retry loop relies on.
+#include <gtest/gtest.h>
+
+#include "vpmem/util/backoff.hpp"
+
+namespace vpmem {
+namespace {
+
+TEST(Backoff, FirstAttemptHasNoDelay) {
+  const BackoffPolicy policy;
+  EXPECT_EQ(policy.delay_ms(1, 123), 0.0);
+  EXPECT_EQ(policy.delay_ms(0, 123), 0.0);
+}
+
+TEST(Backoff, DeterministicPerSeedAndAttempt) {
+  const BackoffPolicy policy;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    EXPECT_EQ(policy.delay_ms(attempt, 42), policy.delay_ms(attempt, 42));
+  }
+  // Different seeds draw different jitter (overwhelmingly likely).
+  EXPECT_NE(policy.delay_ms(2, 1), policy.delay_ms(2, 2));
+}
+
+TEST(Backoff, NoJitterIsExactExponential) {
+  BackoffPolicy policy;
+  policy.base_ms = 10.0;
+  policy.multiplier = 2.0;
+  policy.cap_ms = 1000.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.delay_ms(2, 7), 10.0);   // base * 2^0
+  EXPECT_DOUBLE_EQ(policy.delay_ms(3, 7), 20.0);   // base * 2^1
+  EXPECT_DOUBLE_EQ(policy.delay_ms(4, 7), 40.0);   // base * 2^2
+}
+
+TEST(Backoff, JitterStaysWithinFactorBounds) {
+  BackoffPolicy policy;
+  policy.base_ms = 100.0;
+  policy.multiplier = 1.0;  // raw delay constant at base_ms
+  policy.jitter = 0.5;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const double d = policy.delay_ms(2, seed);
+    EXPECT_GE(d, 50.0) << "seed " << seed;
+    EXPECT_LE(d, 150.0) << "seed " << seed;
+  }
+}
+
+TEST(Backoff, CapBoundsTheRawDelay) {
+  BackoffPolicy policy;
+  policy.base_ms = 25.0;
+  policy.multiplier = 2.0;
+  policy.cap_ms = 200.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.delay_ms(20, 3), 200.0);
+}
+
+TEST(Backoff, RetryableFollowsMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.retryable(1));
+  EXPECT_TRUE(policy.retryable(2));
+  EXPECT_FALSE(policy.retryable(3));
+  EXPECT_FALSE(policy.retryable(4));
+}
+
+TEST(Backoff, ZeroBaseDisablesDelays) {
+  BackoffPolicy policy;
+  policy.base_ms = 0.0;
+  EXPECT_EQ(policy.delay_ms(5, 9), 0.0);
+}
+
+}  // namespace
+}  // namespace vpmem

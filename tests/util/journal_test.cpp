@@ -1,0 +1,181 @@
+// vpmem.journal/1 writer/reader: append-order round trips, crash-torn
+// tails, the resume view (latest record per config hash), and the
+// corruption rules the resume contract depends on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "vpmem/util/hash.hpp"
+#include "vpmem/util/journal.hpp"
+
+namespace vpmem {
+namespace {
+
+/// Fresh path under the test temp dir, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_{(std::filesystem::temp_directory_path() /
+               ("vpmem_journal_test_" + name + "_" + std::to_string(::getpid()) + ".jsonl"))
+                  .string()} {
+    std::filesystem::remove(path_);
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+JournalRecord make_record(const std::string& job, const std::string& hash, int attempt,
+                          const std::string& status) {
+  JournalRecord r;
+  r.job = job;
+  r.hash = hash;
+  r.attempt = attempt;
+  r.status = status;
+  r.worker = 2;
+  r.wall_ms = 1.5;
+  if (status == "ok") {
+    Json result = Json::object();
+    result["value"] = 42;
+    r.result = std::move(result);
+  }
+  return r;
+}
+
+TEST(Journal, MissingFileReadsEmpty) {
+  const JournalScan scan = read_journal("/nonexistent/path/to/journal.jsonl");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.truncated_tail);
+}
+
+TEST(Journal, AppendAndReadBackRoundTrips) {
+  TempFile file{"roundtrip"};
+  {
+    JournalWriter writer{file.path()};
+    writer.append(make_record("a", "h1", 1, "retry"));
+    writer.append(make_record("a", "h1", 2, "ok"));
+    writer.append(make_record("b", "h2", 1, "ok"));
+  }
+  const JournalScan scan = read_journal(file.path());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_FALSE(scan.truncated_tail);
+  const JournalRecord& r = scan.records[1];
+  EXPECT_EQ(r.job, "a");
+  EXPECT_EQ(r.hash, "h1");
+  EXPECT_EQ(r.attempt, 2);
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_EQ(r.worker, 2);
+  EXPECT_DOUBLE_EQ(r.wall_ms, 1.5);
+  EXPECT_EQ(r.result.at("value").as_int(), 42);
+}
+
+TEST(Journal, ReopeningAppendsInsteadOfTruncating) {
+  TempFile file{"reopen"};
+  {
+    JournalWriter writer{file.path()};
+    writer.append(make_record("a", "h1", 1, "ok"));
+  }
+  {
+    JournalWriter writer{file.path()};
+    writer.append(make_record("b", "h2", 1, "ok"));
+  }
+  const JournalScan scan = read_journal(file.path());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].job, "a");
+  EXPECT_EQ(scan.records[1].job, "b");
+}
+
+TEST(Journal, TornFinalLineIsDroppedAndFlagged) {
+  TempFile file{"torn"};
+  {
+    JournalWriter writer{file.path()};
+    writer.append(make_record("a", "h1", 1, "ok"));
+  }
+  {
+    // Simulate a writer killed mid-append: a half-written final line.
+    std::ofstream out{file.path(), std::ios::app};
+    out << R"({"schema":"vpmem.journal/1","job":"b","hash":"h2","att)";
+  }
+  const JournalScan scan = read_journal(file.path());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].job, "a");
+  EXPECT_TRUE(scan.truncated_tail);
+}
+
+TEST(Journal, ReopeningAfterATornTailHealsBeforeAppending) {
+  TempFile file{"torn_append"};
+  {
+    JournalWriter writer{file.path()};
+    writer.append(make_record("a", "h1", 1, "ok"));
+  }
+  {
+    // A SIGKILLed writer leaves a half-written final line behind.
+    std::ofstream out{file.path(), std::ios::app};
+    out << R"({"schema":"vpmem.journal/1","job":"b","hash":"h2","att)";
+  }
+  {
+    // The resumed writer must not weld its first record onto the torn
+    // fragment — that would be mid-file corruption the reader rejects.
+    JournalWriter writer{file.path()};
+    writer.append(make_record("c", "h3", 1, "ok"));
+  }
+  const JournalScan scan = read_journal(file.path());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_FALSE(scan.truncated_tail);
+  EXPECT_EQ(scan.records[0].job, "a");
+  EXPECT_EQ(scan.records[1].job, "c");
+}
+
+TEST(Journal, CorruptionBeforeTheTailThrows) {
+  TempFile file{"corrupt"};
+  {
+    std::ofstream out{file.path()};
+    out << "this is not json\n";
+    out << make_record("a", "h1", 1, "ok").to_json().dump() << '\n';
+  }
+  EXPECT_THROW((void)read_journal(file.path()), std::runtime_error);
+}
+
+TEST(Journal, SchemaMismatchThrows) {
+  Json doc = make_record("a", "h1", 1, "ok").to_json();
+  doc["schema"] = "vpmem.journal/999";
+  EXPECT_THROW((void)JournalRecord::from_json(doc), std::runtime_error);
+}
+
+TEST(Journal, LatestPerHashKeepsTheFinalRecordInFirstSeenOrder) {
+  JournalScan scan;
+  scan.records.push_back(make_record("a", "h1", 1, "retry"));
+  scan.records.push_back(make_record("b", "h2", 1, "ok"));
+  scan.records.push_back(make_record("a", "h1", 2, "ok"));
+  scan.records.push_back(make_record("c", "h3", 1, "crashed"));
+  scan.records.push_back(make_record("c", "h3", 2, "quarantined"));
+  const auto latest = scan.latest_per_hash();
+  ASSERT_EQ(latest.size(), 3u);
+  EXPECT_EQ(latest[0].hash, "h1");
+  EXPECT_EQ(latest[0].attempt, 2);
+  EXPECT_EQ(latest[0].status, "ok");
+  EXPECT_EQ(latest[1].hash, "h2");
+  EXPECT_EQ(latest[2].hash, "h3");
+  EXPECT_EQ(latest[2].status, "quarantined");
+}
+
+// The resume key: stable_hash must match the published FNV-1a vectors
+// forever — journals written by one build must resume under any other.
+TEST(StableHash, MatchesKnownFnv1aVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stable_hash(""), "cbf29ce484222325");
+  EXPECT_EQ(stable_hash("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(stable_hash("vpmem"), stable_hash("vpmem"));
+  EXPECT_NE(stable_hash("vpmem"), stable_hash("vpmen"));
+}
+
+}  // namespace
+}  // namespace vpmem

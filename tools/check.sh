@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a sanitizer pass over the simulator tests.
 #
-#   tools/check.sh          # full check: plain build + ctest, then ASan/UBSan
+#   tools/check.sh          # full check: plain build + ctest, then
+#                           # ASan/UBSan, then TSan
 #   tools/check.sh --fast   # plain build + ctest only
 #   tools/check.sh --fuzz   # full check, then an extended differential
 #                           # fuzz run (vpmem_cli fuzz, 20k cases) and a
@@ -11,6 +12,13 @@
 # (VPMEM_SANITIZE=ON) and reruns the sim + obs + check test binaries, which
 # exercise the event-hook multiplexer, the Collector's raw-pointer hot path
 # and the reference model's event-log scans.
+#
+# The TSan pass rebuilds into build-tsan/ with -fsanitize=thread
+# (VPMEM_SANITIZE_THREAD=ON) and runs `ctest -LE fork`: everything except
+# the two fork-labelled suites (the sandbox plumbing and the CLI campaign
+# end-to-end tests — TSan's interceptors do not survive fork()).  The
+# executor, worker pool, journal writer, sharded fuzzer, and metrics
+# merging all get their race coverage here via the in-process suites.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +68,12 @@ cmake --build build-asan -j "$jobs" --target \
   check_fault_plan_fuzz_test
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -R \
   '^(sim_|obs_|check_reference_model|check_differential_fuzz|check_replay|check_fault_plan_fuzz)'
+
+echo "== sanitizer pass: TSan on everything but the fork-labelled suites =="
+cmake -B build-tsan -S . -DVPMEM_SANITIZE_THREAD=ON >/dev/null
+cmake --build build-tsan -j "$jobs"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -LE fork
 
 if [[ "$mode" == "--fuzz" ]]; then
   echo "== extended differential fuzz: 20k cases =="

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run one test suite under an inner `timeout` that fires *before* ctest's
+# own TIMEOUT kill.  ctest -9's a timed-out test with no chance for
+# diagnostics; the guard instead catches the hang first, dumps the tail
+# of any campaign journals the test was writing (*.jsonl under $TMPDIR —
+# the executor flushes one line per attempt, so the tail shows exactly
+# which job wedged), and exits 99 so the suite still fails loudly.
+#
+#   tools/ctest_guard.sh <budget-seconds> <command> [args...]
+#
+# vpmem_test() wires every ctest suite through this with a budget 20s
+# under VPMEM_TEST_TIMEOUT, leaving ctest's kill as the backstop.
+set -u
+budget="$1"
+shift
+
+timeout --signal=TERM --kill-after=10 "$budget" "$@"
+rc=$?
+if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+  echo "ctest_guard: '$1' exceeded its ${budget}s budget" >&2
+  tmp="${TMPDIR:-/tmp}"
+  found=0
+  for journal in "$tmp"/*.jsonl; do
+    [ -e "$journal" ] || continue
+    found=1
+    echo "--- last journal lines: $journal ---" >&2
+    tail -n 20 "$journal" >&2
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "ctest_guard: no campaign journals under $tmp" >&2
+  fi
+  exit 99
+fi
+exit "$rc"
